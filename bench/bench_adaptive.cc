@@ -1,0 +1,75 @@
+// E9 — extension (the paper's first future-work item): adapting the
+// broadcast to changing access patterns.
+//
+// Runs the adaptive server loop (observe requests -> exponential-decay
+// frequency estimates -> replan every cycle) against rotating Zipf
+// popularity at different drift speeds, and compares:
+//   adaptive  — replans every cycle from the estimates,
+//   static    — plans once from the uniform prior and never adapts,
+//   oracle    — replans every cycle from the *true* weights.
+// Expected shape: under slow drift the adaptive server tracks the oracle and
+// clearly beats the static plan; as the drift speed approaches the
+// estimator's tracking ability the advantage shrinks, and under very fast
+// drift the popularity-agnostic static plan becomes competitive (stale skew
+// is worse than no skew).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sim/server_sim.h"
+#include "util/rng.h"
+#include "workload/weights.h"
+
+int main() {
+  constexpr int kItems = 60;
+  constexpr int kCycles = 16;
+
+  std::printf("=== E9: adaptive replanning vs popularity drift ===\n");
+  std::printf("%d-item Zipf(1.1) catalog, 2 channels, %d cycles, rotation "
+              "drift\n\n", kItems, kCycles);
+  std::printf("%-12s  %-12s  %-12s  %-12s  %-14s\n", "swaps/cycle",
+              "adaptive", "static", "oracle", "adaptive gain");
+
+  bcast::Rng drift_rng(909);
+  for (int swaps : {0, 2, 8, 30, 120}) {
+    std::vector<double> weights = bcast::ZipfWeights(kItems, 1.1);
+    auto drift = [swaps, &drift_rng](int, std::vector<double>* w) {
+      // Popularity churn: `swaps` random rank exchanges per cycle.
+      for (int s = 0; s < swaps; ++s) {
+        size_t a = static_cast<size_t>(
+            drift_rng.UniformInt(0, static_cast<int64_t>(w->size()) - 1));
+        size_t b = static_cast<size_t>(
+            drift_rng.UniformInt(0, static_cast<int64_t>(w->size()) - 1));
+        std::swap((*w)[a], (*w)[b]);
+      }
+    };
+
+    bcast::AdaptiveServerOptions options;
+    options.num_channels = 2;
+    options.num_cycles = kCycles;
+    options.queries_per_cycle = 4000;
+
+    bcast::Rng rng_a(11), rng_s(11);
+    auto adaptive = bcast::RunAdaptiveServer(weights, drift, &rng_a, options);
+    bcast::AdaptiveServerOptions static_options = options;
+    static_options.replan_every = 0;
+    auto static_run =
+        bcast::RunAdaptiveServer(weights, drift, &rng_s, static_options);
+    if (!adaptive.ok() || !static_run.ok()) {
+      std::printf("%-12d  error\n", swaps);
+      continue;
+    }
+    double gain =
+        100.0 * (static_run->mean_realized - adaptive->mean_realized) /
+        static_run->mean_realized;
+    std::printf("%-12d  %-12.2f  %-12.2f  %-12.2f  %+.1f%%\n", swaps,
+                adaptive->mean_realized, static_run->mean_realized,
+                adaptive->mean_oracle, gain);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nexpected shape: large adaptive gains at slow drift, shrinking\n"
+              "(possibly negative) gains once the drift outruns the estimator.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E2 — reproduces Fig. 14 ("The Performance of the Index Tree Sorting",
+// Section 4.2).
+//
+// Workload: full balanced 4-ary tree of depth 3 (16 data leaves), data
+// weights ~ N(µ = 100, σ), one broadcast channel. For σ = 10..40 we report
+// the average data wait (buckets) of the optimal allocation and of the
+// index-tree-sorting heuristic, averaged over many random draws.
+//
+// Paper reference: both curves rise from ~9.8 to ~11.5 buckets as σ grows
+// from 10 to 40, with Sorting ~0.1–0.3 buckets above Optimal and the gap
+// widening with σ (the skewness makes preorder grouping suboptimal).
+// Absolute values depend on the draw; the shape to verify is
+//   optimal <= sorting  and  gap(σ=40) > gap(σ=10).
+
+#include <cstdio>
+#include <vector>
+
+#include "alloc/data_tree.h"
+#include "alloc/heuristics.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+#include "workload/weights.h"
+
+int main() {
+  constexpr int kFanout = 4;
+  constexpr int kTrials = 200;
+  constexpr double kMu = 100.0;
+
+  std::printf("=== E2: Fig. 14 — index tree sorting vs optimal ===\n");
+  std::printf("full balanced 4-ary tree, depth 3, weights ~ N(100, sigma), "
+              "1 channel, %d trials\n\n", kTrials);
+  std::printf("%-8s  %-12s  %-12s  %-8s\n", "sigma", "Optimal", "Sorting",
+              "gap");
+
+  for (double sigma : {10.0, 20.0, 30.0, 40.0}) {
+    double optimal_sum = 0.0;
+    double sorting_sum = 0.0;
+    int completed = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      bcast::Rng rng(50'000u + static_cast<uint64_t>(sigma) * 131u +
+                     static_cast<uint64_t>(trial));
+      std::vector<double> weights =
+          bcast::NormalWeights(&rng, kFanout * kFanout, kMu, sigma);
+      auto tree = bcast::MakeFullBalancedTree(kFanout, 3, weights);
+      if (!tree.ok()) continue;
+
+      auto search = bcast::DataTreeSearch::Create(*tree, bcast::DataTreeOptions{});
+      if (!search.ok()) continue;
+      auto optimal = search->FindOptimal();
+      auto sorting = bcast::SortingHeuristic(*tree, 1);
+      if (!optimal.ok() || !sorting.ok()) continue;
+
+      optimal_sum += optimal->average_data_wait;
+      sorting_sum += sorting->average_data_wait;
+      ++completed;
+    }
+    double optimal_mean = optimal_sum / completed;
+    double sorting_mean = sorting_sum / completed;
+    std::printf("%-8.0f  %-12.4f  %-12.4f  %-8.4f\n", sigma, optimal_mean,
+                sorting_mean, sorting_mean - optimal_mean);
+    std::fflush(stdout);
+  }
+
+  std::printf("\npaper reference: both curves in ~9.5..11.5 buckets; Sorting "
+              "tracks Optimal closely,\nwith the gap growing as sigma "
+              "(weight skew) increases.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E3 — the paper's worked example (Section 2.2 / Fig. 2): reproduces the
+// data waits of the two allocations shown in the paper — 6.01 buckets for
+// the one-channel layout and 3.89 for the two-channel layout (the paper
+// presents these as *possible* allocations, not optima) — and then reports
+// the true optima certified by both the pruned and the exhaustive search.
+
+#include <cstdio>
+#include <string>
+
+#include "core/bcast.h"
+
+namespace {
+
+bcast::NodeId IdOf(const bcast::IndexTree& tree, const std::string& label) {
+  for (bcast::NodeId id = 0; id < tree.num_nodes(); ++id) {
+    if (tree.label(id) == label) return id;
+  }
+  return bcast::kInvalidNode;
+}
+
+// Fig. 2(a): 1 3 E 4 C D 2 A B on one channel.
+bcast::SlotSequence Fig2aSlots(const bcast::IndexTree& tree) {
+  bcast::SlotSequence slots;
+  for (const char* label : {"1", "3", "E", "4", "C", "D", "2", "A", "B"}) {
+    slots.push_back({IdOf(tree, label)});
+  }
+  return slots;
+}
+
+// Fig. 2(b): slots {1}, {2,3}, {A,B}, {4,E}, {C,D} over two channels.
+bcast::SlotSequence Fig2bSlots(const bcast::IndexTree& tree) {
+  bcast::SlotSequence slots;
+  slots.push_back({IdOf(tree, "1")});
+  slots.push_back({IdOf(tree, "2"), IdOf(tree, "3")});
+  slots.push_back({IdOf(tree, "A"), IdOf(tree, "B")});
+  slots.push_back({IdOf(tree, "4"), IdOf(tree, "E")});
+  slots.push_back({IdOf(tree, "C"), IdOf(tree, "D")});
+  return slots;
+}
+
+}  // namespace
+
+int main() {
+  bcast::IndexTree tree = bcast::MakePaperExampleTree();
+
+  std::printf("=== E3: paper Fig. 2 worked example ===\n\n");
+
+  double fig2a = bcast::SlotSequenceDataWait(tree, Fig2aSlots(tree));
+  std::printf("Fig. 2(a) allocation 1 3 E 4 C D 2 A B  : %.4f buckets"
+              " (paper: 6.01)\n", fig2a);
+  double fig2b = bcast::SlotSequenceDataWait(tree, Fig2bSlots(tree));
+  std::printf("Fig. 2(b) allocation {1}{2,3}{A,B}{4,E}{C,D}: %.4f buckets"
+              " (paper: 3.88)\n", fig2b);
+
+  for (int channels = 1; channels <= 2; ++channels) {
+    auto optimal = bcast::FindOptimalAllocation(tree, channels);
+    if (!optimal.ok()) {
+      std::fprintf(stderr, "search failed: %s\n",
+                   optimal.status().ToString().c_str());
+      return 1;
+    }
+    // Exhaustive cross-check (no pruning).
+    bcast::OptimalOptions raw;
+    raw.use_pruning = false;
+    auto exhaustive = bcast::FindOptimalAllocation(tree, channels, raw);
+    if (!exhaustive.ok()) {
+      std::fprintf(stderr, "exhaustive failed: %s\n",
+                   exhaustive.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\noptimal, %d channel%s: %.4f buckets"
+                " (exhaustive agrees: %.4f)\n",
+                channels, channels > 1 ? "s" : "",
+                optimal->average_data_wait, exhaustive->average_data_wait);
+    auto schedule =
+        bcast::BuildScheduleFromSlots(tree, channels, optimal->slots);
+    if (schedule.ok()) std::printf("%s", schedule->ToString(tree).c_str());
+  }
+  std::printf(
+      "\nNote: the paper presents Fig. 2 as two *possible* allocations for\n"
+      "this tree (Section 2.2), not as the optima; the exact searches above\n"
+      "find strictly better allocations and agree with exhaustive "
+      "enumeration.\n");
+  return 0;
+}

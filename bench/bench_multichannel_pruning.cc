@@ -1,0 +1,90 @@
+// E10 — extension of Table 1 to multiple channels: how much of the k-channel
+// topological tree (Algorithm 1) the Appendix reductions (Properties 2/3 +
+// local swaps) remove, and what that buys the exact optimizer.
+//
+// Workloads: full balanced m-ary depth-3 trees (m = 2, 3) and random trees,
+// k = 1..3. Reports full vs reduced tree node/path counts and the
+// branch-and-bound expansions with and without pruning. Expected shape: the
+// reduction is most dramatic on one channel (the paper's Table 1 regime) and
+// still substantial for k > 1, where the compound slots already collapse
+// much of the space.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "alloc/topo_search.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+#include "workload/weights.h"
+
+namespace {
+
+void Report(const bcast::IndexTree& tree, const char* name, int max_channels) {
+  std::printf("%s (%d nodes):\n", name, tree.num_nodes());
+  std::printf("  %-3s  %14s  %14s  %14s  %14s  %10s\n", "k", "full nodes",
+              "reduced nodes", "full paths", "reduced paths", "B&B speedup");
+  for (int k = 1; k <= max_channels; ++k) {
+    bcast::TopoTreeSearch::Options full_options;
+    full_options.num_channels = k;
+    bcast::TopoTreeSearch::Options reduced_options = full_options;
+    reduced_options.prune_candidates = true;
+    reduced_options.prune_local_swap = true;
+
+    auto full = bcast::TopoTreeSearch::Create(tree, full_options);
+    auto reduced = bcast::TopoTreeSearch::Create(tree, reduced_options);
+    if (!full.ok() || !reduced.ok()) continue;
+
+    constexpr uint64_t kLimit = 200'000'000;
+    auto full_nodes = full->CountTreeNodes(kLimit);
+    auto reduced_nodes = reduced->CountTreeNodes(kLimit);
+    auto full_paths = full->CountPaths(kLimit);
+    auto reduced_paths = reduced->CountPaths(kLimit);
+
+    auto unpruned_opt = full->FindOptimalDfs();
+    auto pruned_opt = reduced->FindOptimalDfs();
+    double speedup = 0.0;
+    if (unpruned_opt.ok() && pruned_opt.ok()) {
+      speedup = static_cast<double>(unpruned_opt->stats.nodes_expanded) /
+                static_cast<double>(pruned_opt->stats.nodes_expanded);
+    }
+
+    auto fmt = [](const bcast::Result<uint64_t>& r) -> std::string {
+      if (!r.ok()) return ">2e8";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, *r);
+      return buf;
+    };
+    std::printf("  %-3d  %14s  %14s  %14s  %14s  %9.1fx\n", k,
+                fmt(full_nodes).c_str(), fmt(reduced_nodes).c_str(),
+                fmt(full_paths).c_str(), fmt(reduced_paths).c_str(), speedup);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E10: Appendix pruning across channel counts ===\n\n");
+
+  Report(bcast::MakePaperExampleTree(), "paper Fig. 1 example", 3);
+
+  bcast::Rng rng(123);
+  for (int m = 2; m <= 3; ++m) {
+    std::vector<double> weights =
+        bcast::UniformWeights(&rng, m * m, 1.0, 100.0);
+    auto tree = bcast::MakeFullBalancedTree(m, 3, weights);
+    if (!tree.ok()) continue;
+    char name[64];
+    std::snprintf(name, sizeof(name), "full balanced %d-ary, depth 3", m);
+    Report(*tree, name, 3);
+  }
+
+  bcast::IndexTree random_tree = bcast::MakeRandomTree(&rng, 8, 3);
+  Report(random_tree, "random tree (8 data nodes)", 3);
+
+  std::printf("expected shape: reductions of 1-2 orders of magnitude at k=1\n"
+              "(Table 1's regime), still several-fold at k=2..3; the exact\n"
+              "optimizer expands correspondingly fewer nodes.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// News-feed broadcast with a changing access pattern (the paper's first
+// future-work item: adapting the broadcast as popularities drift).
+//
+// Scenario: a server broadcasts 2000 articles over 4 channels. Every "hour"
+// popularity drifts (breaking news spikes); the server replans the next
+// cycle from the updated weights. The example shows the replanning loop, the
+// latency a stale schedule would have cost, and the heuristics' runtime at
+// this scale (only the heuristics are feasible: the tree has ~2700 nodes).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bcast.h"
+
+namespace {
+
+// Builds a fresh index tree for the catalog with the given weights.
+bcast::IndexTree BuildIndex(const std::vector<double>& weights) {
+  std::vector<bcast::DataItem> items;
+  items.reserve(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    items.push_back({"a" + std::to_string(i), weights[i]});
+  }
+  auto tree = bcast::BuildGreedyAlphabeticTree(items, 4);
+  return std::move(tree).value();
+}
+
+// Popularity drift: the skew stays Zipf-shaped but the *identity* of the hot
+// articles moves — each hour 20% of the articles trade popularity ranks with
+// a random peer (breaking news displaces yesterday's headlines).
+void Drift(bcast::Rng* rng, std::vector<double>* weights) {
+  size_t n = weights->size();
+  for (size_t moves = n / 5; moves > 0; --moves) {
+    size_t a = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+    size_t b = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+    std::swap((*weights)[a], (*weights)[b]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kArticles = 2000;
+  constexpr int kChannels = 4;
+  constexpr int kHours = 6;
+
+  std::vector<double> weights = bcast::ZipfWeights(kArticles, 0.9, 1e6);
+  bcast::Rng rng(31337);
+  rng.Shuffle(&weights);
+
+  std::printf("=== news feed: %d articles, %d channels, hourly replanning "
+              "===\n\n", kArticles, kChannels);
+  std::printf("%-5s  %-14s  %-14s  %-12s  %-10s\n", "hour", "replanned ADW",
+              "stale-plan ADW", "regret", "plan time");
+
+  bcast::PlannerOptions options;
+  options.num_channels = kChannels;
+  options.strategy = bcast::PlanStrategy::kSorting;
+
+  // The schedule planned in hour 0, never refreshed — the "stale" strawman.
+  bcast::IndexTree tree = BuildIndex(weights);
+  auto stale_plan = bcast::PlanBroadcast(tree, options);
+  if (!stale_plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 stale_plan.status().ToString().c_str());
+    return 1;
+  }
+  // Remember the stale broadcast as an article order (article label -> slot).
+  const bcast::IndexTree stale_tree = tree;
+  const bcast::BroadcastSchedule stale_schedule = stale_plan->schedule;
+
+  for (int hour = 0; hour < kHours; ++hour) {
+    auto start = std::chrono::steady_clock::now();
+    bcast::IndexTree fresh_tree = BuildIndex(weights);
+    auto plan = bcast::PlanBroadcast(fresh_tree, options);
+    auto end = std::chrono::steady_clock::now();
+    if (!plan.ok()) break;
+    double ms = std::chrono::duration<double, std::milli>(end - start).count();
+
+    // Evaluate the hour-0 schedule under *current* weights: same positions,
+    // new popularity. Data node ids coincide across rebuilds only by label,
+    // so score by label -> weight.
+    double stale_weighted = 0.0, total = 0.0;
+    for (bcast::NodeId d : stale_tree.DataNodes()) {
+      // Label "a<i>" indexes the weights array.
+      size_t article = std::stoul(stale_tree.label(d).substr(1));
+      double w = weights[article];
+      stale_weighted +=
+          w * static_cast<double>(stale_schedule.DataWaitOf(d));
+      total += w;
+    }
+    double stale_adw = stale_weighted / total;
+
+    std::printf("%-5d  %-14.2f  %-14.2f  %-12.2f  %7.1f ms\n", hour,
+                plan->costs.average_data_wait, stale_adw,
+                stale_adw - plan->costs.average_data_wait, ms);
+
+    Drift(&rng, &weights);
+  }
+
+  std::printf("\nthe regret column shows the latency paid for not adapting:\n"
+              "it grows as popularity drifts away from the hour-0 snapshot,\n"
+              "while replanning stays in the low milliseconds (sorting\n"
+              "heuristic) — fast enough to run every broadcast cycle.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Stock-ticker broadcast: energy/latency trade-offs across index layouts.
+//
+// Scenario: a ticker server pushes 120 quotes over 3 channels. A handful of
+// blue-chip symbols absorb most queries. The example contrasts three index
+// constructions (balanced-ish greedy, Hu–Tucker binary, optimal 4-ary) and
+// two allocations each, reporting the two costs the paper optimizes:
+// average data wait (latency) and average tuning time (battery).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bcast.h"
+
+namespace {
+
+std::vector<bcast::DataItem> MakeQuotes() {
+  // 120 symbols in ticker order; popularity Zipf over a shuffled ranking.
+  std::vector<double> weights = bcast::ZipfWeights(120, 1.3, 1'000'000.0);
+  bcast::Rng rng(777);
+  rng.Shuffle(&weights);
+  std::vector<bcast::DataItem> quotes;
+  for (int i = 0; i < 120; ++i) {
+    char symbol[8];
+    std::snprintf(symbol, sizeof(symbol), "S%03d", i);
+    quotes.push_back({symbol, weights[static_cast<size_t>(i)]});
+  }
+  return quotes;
+}
+
+void Report(const char* index_name, const bcast::IndexTree& tree) {
+  std::printf("%s: %d nodes, depth %d, expected probes %.2f\n", index_name,
+              tree.num_nodes(), tree.depth(),
+              bcast::WeightedPathLength(tree) / tree.total_data_weight());
+  for (bcast::PlanStrategy strategy :
+       {bcast::PlanStrategy::kSorting, bcast::PlanStrategy::kGreedyWeight}) {
+    bcast::PlannerOptions options;
+    options.num_channels = 3;
+    options.strategy = strategy;
+    auto plan = bcast::PlanBroadcast(tree, options);
+    if (!plan.ok()) {
+      std::printf("  %-13s: %s\n", bcast::PlanStrategyName(strategy),
+                  plan.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-13s: data wait %7.2f | tuning %5.2f | switches %4.2f | "
+                "cycle %3d slots (%d empty buckets)\n",
+                bcast::PlanStrategyName(strategy),
+                plan->costs.average_data_wait, plan->costs.average_tuning_time,
+                plan->costs.average_switches, plan->costs.cycle_length,
+                plan->costs.empty_buckets);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::vector<bcast::DataItem> quotes = MakeQuotes();
+
+  std::printf("=== stock ticker: 120 symbols, 3 broadcast channels ===\n\n");
+
+  auto greedy4 = bcast::BuildGreedyAlphabeticTree(quotes, 4);
+  auto hu_tucker = bcast::BuildHuTuckerTree(quotes);
+  auto dp4 = bcast::BuildOptimalAlphabeticTree(quotes, 4);
+  if (!greedy4.ok() || !hu_tucker.ok() || !dp4.ok()) {
+    std::fprintf(stderr, "index construction failed\n");
+    return 1;
+  }
+  Report("greedy 4-ary alphabetic index", *greedy4);
+  Report("Hu-Tucker binary index", *hu_tucker);
+  Report("optimal 4-ary alphabetic index (DP)", *dp4);
+
+  std::printf("take-aways: a wider fanout cuts tuning time (fewer probes per\n"
+              "query) — the index layout alone sets the battery cost, while\n"
+              "the allocation sets latency. When popularity is uncorrelated\n"
+              "with key order, the index-oblivious greedy-weight order wins\n"
+              "on data wait over the subtree-contiguous sorting heuristic\n"
+              "(see EXPERIMENTS.md, E6).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Weather dissemination over two broadcast channels.
+//
+// Scenario: a regional server broadcasts weather bulletins for 40 districts.
+// Query popularity is Zipf-skewed (big cities dominate) while the index must
+// stay in district-key order so portable receivers can navigate by key —
+// exactly the k-nary alphabetic index tree setting of the paper. The example
+// builds the index with the exact DP construction, compares allocation
+// strategies, and simulates client latencies.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bcast.h"
+
+int main() {
+  // 24 districts keep the 37-node index inside the exact search's comfort
+  // zone (sub-second); scale kDistricts up and drop kOptimal to go bigger.
+  constexpr int kDistricts = 24;
+  constexpr int kChannels = 2;
+
+  // District popularity: Zipf over a fixed popularity ranking that is NOT
+  // the key order (district 17 may be the capital).
+  std::vector<double> popularity = bcast::ZipfWeights(kDistricts, 1.1, 10'000.0);
+  bcast::Rng rng(2026);
+  rng.Shuffle(&popularity);
+
+  std::vector<bcast::DataItem> districts;
+  for (int i = 0; i < kDistricts; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "D%02d", i + 1);
+    districts.push_back({name, popularity[static_cast<size_t>(i)]});
+  }
+
+  // Key-ordered 3-ary alphabetic index, optimal for expected probe count.
+  auto tree_result = bcast::BuildOptimalAlphabeticTree(districts, 3);
+  if (!tree_result.ok()) {
+    std::fprintf(stderr, "index construction failed: %s\n",
+                 tree_result.status().ToString().c_str());
+    return 1;
+  }
+  const bcast::IndexTree& tree = *tree_result;
+  std::printf("weather catalog: %d districts, index tree of %d nodes, depth %d\n",
+              kDistricts, tree.num_nodes(), tree.depth());
+  std::printf("expected index probes per query: %.2f\n\n",
+              bcast::WeightedPathLength(tree) / tree.total_data_weight());
+
+  // Compare allocation strategies on two channels.
+  for (bcast::PlanStrategy strategy :
+       {bcast::PlanStrategy::kOptimal, bcast::PlanStrategy::kSorting,
+        bcast::PlanStrategy::kShrinking, bcast::PlanStrategy::kPreorder}) {
+    bcast::PlannerOptions options;
+    options.num_channels = kChannels;
+    options.strategy = strategy;
+    auto plan = bcast::PlanBroadcast(tree, options);
+    if (!plan.ok()) {
+      std::printf("%-10s : %s\n", bcast::PlanStrategyName(strategy),
+                  plan.status().ToString().c_str());
+      continue;
+    }
+    auto sim = bcast::ClientSimulator::Create(tree, plan->schedule);
+    if (!sim.ok()) continue;
+    bcast::Rng sim_rng(7);
+    bcast::SimOptions sim_options;
+    sim_options.num_queries = 50'000;
+    bcast::SimReport report = sim->Run(&sim_rng, sim_options);
+    std::printf("%-10s : data wait %7.2f buckets | simulated access %7.2f | "
+                "listened %.1f buckets\n",
+                bcast::PlanStrategyName(strategy),
+                plan->costs.average_data_wait, report.mean_access_time,
+                report.mean_tuning_time);
+  }
+
+  std::printf("\n(the exact search handles this tree in well under a second;\n"
+              "for hundreds or thousands of districts switch to kSorting /\n"
+              "kShrinking — see the news_feed example)\n");
+  return 0;
+}

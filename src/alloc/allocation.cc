@@ -1,0 +1,64 @@
+#include "alloc/allocation.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace bcast {
+
+double SlotSequenceDataWait(const IndexTree& tree, const SlotSequence& slots) {
+  double total_weight = tree.total_data_weight();
+  BCAST_CHECK_GT(total_weight, 0.0);
+  std::vector<bool> seen(static_cast<size_t>(tree.num_nodes()), false);
+  double weighted = 0.0;
+  for (size_t s = 0; s < slots.size(); ++s) {
+    for (NodeId node : slots[s]) {
+      seen[static_cast<size_t>(node)] = true;
+      if (tree.is_data(node)) {
+        weighted += tree.weight(node) * static_cast<double>(s + 1);
+      }
+    }
+  }
+  for (NodeId d : tree.DataNodes()) {
+    BCAST_CHECK(seen[static_cast<size_t>(d)])
+        << "data node '" << tree.label(d) << "' missing from slot sequence";
+  }
+  return weighted / total_weight;
+}
+
+Status ValidateSlotSequence(const IndexTree& tree, int num_channels,
+                            const SlotSequence& slots) {
+  std::vector<int> slot_of(static_cast<size_t>(tree.num_nodes()), -1);
+  for (size_t s = 0; s < slots.size(); ++s) {
+    if (static_cast<int>(slots[s].size()) > num_channels) {
+      return FailedPreconditionError("slot " + std::to_string(s + 1) +
+                                     " exceeds the channel count");
+    }
+    for (NodeId node : slots[s]) {
+      if (node < 0 || node >= tree.num_nodes()) {
+        return InvalidArgumentError("slot sequence references unknown node " +
+                                    std::to_string(node));
+      }
+      if (slot_of[static_cast<size_t>(node)] != -1) {
+        return FailedPreconditionError("node '" + tree.label(node) +
+                                       "' appears twice");
+      }
+      slot_of[static_cast<size_t>(node)] = static_cast<int>(s);
+    }
+  }
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    if (slot_of[static_cast<size_t>(id)] == -1) {
+      return FailedPreconditionError("node '" + tree.label(id) + "' unallocated");
+    }
+    NodeId parent = tree.parent(id);
+    if (parent != kInvalidNode &&
+        slot_of[static_cast<size_t>(parent)] >= slot_of[static_cast<size_t>(id)]) {
+      return FailedPreconditionError("child '" + tree.label(id) +
+                                     "' not strictly after parent '" +
+                                     tree.label(parent) + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace bcast

@@ -1,0 +1,52 @@
+// Shared types for allocation algorithms.
+//
+// Every algorithm in src/alloc/ produces a *slot sequence*: for each slot of
+// the broadcast cycle, the set of nodes transmitted at that slot (one per
+// channel; the compound nodes of the paper's topological tree). The slot
+// sequence is channel-agnostic — the average data wait only depends on slots
+// (Section 2.2) — and is turned into a concrete channel assignment by
+// BuildScheduleFromSlots, which applies the paper's channel rules.
+
+#ifndef BCAST_ALLOC_ALLOCATION_H_
+#define BCAST_ALLOC_ALLOCATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/schedule.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// slots[s] = nodes broadcast at slot s (size <= num_channels each).
+using SlotSequence = std::vector<std::vector<NodeId>>;
+
+/// Instrumentation counters reported by the searches.
+struct SearchStats {
+  uint64_t nodes_expanded = 0;   // topological-tree nodes visited
+  uint64_t nodes_generated = 0;  // next-neighbors created
+  uint64_t nodes_pruned = 0;     // next-neighbors eliminated by the rules
+  uint64_t paths_completed = 0;  // full allocations reached
+};
+
+/// The outcome of an allocation algorithm.
+struct AllocationResult {
+  SlotSequence slots;
+  double average_data_wait = 0.0;
+  SearchStats stats;
+};
+
+/// Average data wait of a slot sequence (formula 1): Σ W(d)·(slot(d)+1) / ΣW.
+/// Check-fails if a data node is missing from the sequence.
+double SlotSequenceDataWait(const IndexTree& tree, const SlotSequence& slots);
+
+/// Validates that `slots` is a feasible allocation for `num_channels`
+/// channels: every node exactly once, per-slot size <= num_channels, child
+/// strictly after parent.
+Status ValidateSlotSequence(const IndexTree& tree, int num_channels,
+                            const SlotSequence& slots);
+
+}  // namespace bcast
+
+#endif  // BCAST_ALLOC_ALLOCATION_H_

@@ -1,0 +1,94 @@
+#include "alloc/baselines.h"
+
+#include <algorithm>
+#include <string>
+
+#include "alloc/data_tree.h"
+#include "alloc/heuristics.h"
+
+namespace bcast {
+
+namespace {
+
+Result<AllocationResult> FinishFromSlots(const IndexTree& tree,
+                                         int num_channels, SlotSequence slots) {
+  BCAST_RETURN_IF_ERROR(ValidateSlotSequence(tree, num_channels, slots));
+  AllocationResult result;
+  result.slots = std::move(slots);
+  result.average_data_wait = SlotSequenceDataWait(tree, result.slots);
+  return result;
+}
+
+}  // namespace
+
+Result<AllocationResult> LevelAllocation(const IndexTree& tree,
+                                         int num_channels) {
+  if (!tree.finalized()) {
+    return FailedPreconditionError("index tree must be finalized");
+  }
+  if (num_channels < tree.max_level_width()) {
+    return InvalidArgumentError(
+        "level allocation needs at least " +
+        std::to_string(tree.max_level_width()) + " channels (widest level), got " +
+        std::to_string(num_channels));
+  }
+  return FinishFromSlots(tree, num_channels, tree.LevelNodes());
+}
+
+Result<AllocationResult> PreorderBaseline(const IndexTree& tree,
+                                          int num_channels) {
+  if (!tree.finalized()) {
+    return FailedPreconditionError("index tree must be finalized");
+  }
+  if (num_channels < 1) return InvalidArgumentError("need at least one channel");
+  return FinishFromSlots(tree, num_channels,
+                         PackLinearOrder(tree, num_channels,
+                                         tree.PreorderSequence()));
+}
+
+Result<AllocationResult> GreedyWeightBaseline(const IndexTree& tree,
+                                              int num_channels) {
+  if (!tree.finalized()) {
+    return FailedPreconditionError("index tree must be finalized");
+  }
+  if (num_channels < 1) return InvalidArgumentError("need at least one channel");
+  std::vector<NodeId> data = tree.DataNodes();
+  std::sort(data.begin(), data.end(), [&](NodeId a, NodeId b) {
+    if (tree.weight(a) != tree.weight(b)) return tree.weight(a) > tree.weight(b);
+    return a < b;
+  });
+  SlotSequence single = BroadcastFromDataOrder(tree, data);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<size_t>(tree.num_nodes()));
+  for (const auto& slot : single) order.push_back(slot[0]);
+  return FinishFromSlots(tree, num_channels,
+                         PackLinearOrder(tree, num_channels, order));
+}
+
+Result<AllocationResult> RandomFeasibleAllocation(const IndexTree& tree,
+                                                  int num_channels, Rng* rng) {
+  if (!tree.finalized()) {
+    return FailedPreconditionError("index tree must be finalized");
+  }
+  if (num_channels < 1) return InvalidArgumentError("need at least one channel");
+  // Random topological order: repeatedly draw uniformly among nodes whose
+  // parent has been emitted.
+  std::vector<NodeId> order;
+  order.reserve(static_cast<size_t>(tree.num_nodes()));
+  std::vector<bool> emitted(static_cast<size_t>(tree.num_nodes()), false);
+  std::vector<NodeId> frontier = {tree.root()};
+  while (!frontier.empty()) {
+    size_t pick = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(frontier.size()) - 1));
+    NodeId node = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    emitted[static_cast<size_t>(node)] = true;
+    order.push_back(node);
+    for (NodeId child : tree.children(node)) frontier.push_back(child);
+  }
+  return FinishFromSlots(tree, num_channels,
+                         PackLinearOrder(tree, num_channels, order));
+}
+
+}  // namespace bcast

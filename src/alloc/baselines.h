@@ -1,0 +1,45 @@
+// Baseline allocation strategies used for comparison in the benchmarks:
+//
+//  * LevelAllocation   — one level per slot (optimal when channels >= widest
+//                        level, Corollary 1; also the single-cycle analogue of
+//                        [SV96]'s level-per-channel index allocation whose
+//                        inflexibility/space-waste the paper criticizes);
+//  * PreorderBaseline  — plain unsorted preorder, the naive broadcast; the gap
+//                        to SortingHeuristic isolates the value of the
+//                        subtree-sorting rule;
+//  * GreedyWeightBaseline — data nodes in global descending-weight order with
+//                        lazily inserted ancestors; index-oblivious greedy;
+//  * RandomFeasibleAllocation — a uniformly random topological order, the
+//                        "no scheduling at all" floor for property tests.
+
+#ifndef BCAST_ALLOC_BASELINES_H_
+#define BCAST_ALLOC_BASELINES_H_
+
+#include "alloc/allocation.h"
+#include "tree/index_tree.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// Slot s carries exactly the nodes of tree level s+1. Errors unless
+/// num_channels >= tree.max_level_width(). By Corollary 1 this allocation is
+/// optimal in that regime.
+Result<AllocationResult> LevelAllocation(const IndexTree& tree,
+                                         int num_channels);
+
+/// Unsorted preorder traversal packed into k-wide slots.
+Result<AllocationResult> PreorderBaseline(const IndexTree& tree,
+                                          int num_channels);
+
+/// Data in descending weight order, ancestors inserted lazily, packed k-wide.
+Result<AllocationResult> GreedyWeightBaseline(const IndexTree& tree,
+                                              int num_channels);
+
+/// A uniformly random feasible allocation.
+Result<AllocationResult> RandomFeasibleAllocation(const IndexTree& tree,
+                                                  int num_channels, Rng* rng);
+
+}  // namespace bcast
+
+#endif  // BCAST_ALLOC_BASELINES_H_

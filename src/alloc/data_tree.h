@@ -1,0 +1,92 @@
+// The single-channel *data tree* search (Section 3.3 of the paper).
+//
+// For one broadcast channel the index nodes can be factored out of the
+// search: in an optimal allocation every index node is pushed as late as
+// possible, i.e. it is emitted immediately before the first of its
+// descendants in the data order (its Nancestor position). The solution space
+// therefore reduces to permutations of the data nodes; the broadcast is
+// regenerated with
+//     for i = 1..|D|: output Nancestor(Di), then output Di
+// where Nancestor(Di) = Ancestor(Di) − Cancestor(Di-1).
+//
+// Pruning toggles map to the paper's Table 1 columns:
+//  * lemma3_group_order — data nodes sharing a parent appear in descending
+//    weight order (the "By Property 2" accounting, (nm)!/(m!)^n paths);
+//  * property1          — once every index node has been emitted, the
+//    remaining data nodes are appended in descending weight order
+//    ("By Property 1, 2");
+//  * property4          — the pairwise exchange condition
+//      (|Nanc(Di+1)|+1)·W(Di) >= (|Nanc(Di)−Anc(Di+1)|+1)·W(Di+1)
+//    derived from Lemma 6 ("By Property 1, 2, 4");
+//  * extended_exchange  — Corollary 2's m-and-n generalization, here the
+//    2-and-1 block exchange (an ablation extension).
+
+#ifndef BCAST_ALLOC_DATA_TREE_H_
+#define BCAST_ALLOC_DATA_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+struct DataTreeOptions {
+  bool lemma3_group_order = true;
+  bool property1 = true;
+  bool property4 = true;
+  bool extended_exchange = false;
+  /// Give up with RESOURCE_EXHAUSTED beyond this many search steps.
+  uint64_t max_steps = 2'000'000'000;
+};
+
+/// Single-channel search over the (pruned) data tree.
+class DataTreeSearch {
+ public:
+  /// Errors if the tree exceeds 64 nodes.
+  static Result<DataTreeSearch> Create(const IndexTree& tree,
+                                       DataTreeOptions options);
+
+  /// Number of root-to-leaf paths in the reduced data tree — the paper's
+  /// Table 1 "Total Paths". RESOURCE_EXHAUSTED once the count exceeds
+  /// `limit`.
+  Result<uint64_t> CountPaths(uint64_t limit);
+
+  /// Optimal single-channel allocation (branch-and-bound over the reduced
+  /// data tree; exact as long as the enabled prunings are the paper's).
+  Result<AllocationResult> FindOptimal();
+
+ private:
+  DataTreeSearch(const IndexTree& tree, DataTreeOptions options);
+
+  struct Context;
+  Status Dfs(Context* ctx);
+
+  // Returns data ids eligible as the next pick under lemma3_group_order.
+  void EligibleData(uint64_t chosen_data, std::vector<NodeId>* out) const;
+
+  // Exact cost of the Property-1 forced tail / admissible completion bound.
+  double CompletionCost(uint64_t chosen_data, int position) const;
+  double RemainingLowerBound(uint64_t chosen_data, int position) const;
+
+  const IndexTree& tree_;
+  DataTreeOptions options_;
+  std::vector<NodeId> data_nodes_;            // preorder
+  std::vector<NodeId> data_by_weight_;        // heaviest first
+  std::vector<std::vector<NodeId>> groups_;   // sibling groups, heaviest first
+  std::vector<uint64_t> ancestor_mask_;       // per node id: proper ancestors
+  uint64_t all_index_mask_ = 0;
+  uint64_t all_data_mask_ = 0;
+};
+
+/// Expands a data-node order into the full single-channel broadcast (one node
+/// per slot) with lazily inserted ancestors. Check-fails unless `order` is a
+/// permutation of the tree's data nodes.
+SlotSequence BroadcastFromDataOrder(const IndexTree& tree,
+                                    const std::vector<NodeId>& order);
+
+}  // namespace bcast
+
+#endif  // BCAST_ALLOC_DATA_TREE_H_

@@ -1,0 +1,74 @@
+// The paper's two heuristics for large broadcast programs (Section 4.2).
+//
+// 1) Index tree sorting: the children of every index node are sorted by the
+//    subtree rule  A before B  iff  N_B·W(A) >= N_A·W(B)  (N = subtree node
+//    count, W = subtree data weight); a preorder traversal of the sorted tree
+//    is the single-channel broadcast, and the 1_To_k_BroadcastChannel
+//    procedure spreads it over k channels level by level.
+//
+// 2) Index tree shrinking: index nodes whose children are all data nodes are
+//    combined into pseudo data nodes (weight = sum of the children) until the
+//    tree is small enough for the exact search; the optimal broadcast of the
+//    shrunken tree is then expanded by restoring each combined node (index
+//    node first, its data children in descending weight order). When
+//    combination alone cannot reach the size budget, the tree is partitioned
+//    at the root and the subtrees are solved independently and merged in
+//    sorted order (the paper's tree-partitioning variant).
+//
+// Deviation from the paper, documented in DESIGN.md: the verbatim 1_To_k
+// procedure can place a leftover parent and its child in the same slot when a
+// level overflows the channels; we defer such children to the next slot so
+// every produced schedule is feasible (ValidateSlotSequence-clean).
+
+#ifndef BCAST_ALLOC_HEURISTICS_H_
+#define BCAST_ALLOC_HEURISTICS_H_
+
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// Returns a copy of `tree` with every index node's children reordered by
+/// the paper's subtree-sorting rule (Section 4.2, "Index Tree Sorting").
+IndexTree SortIndexTree(const IndexTree& tree);
+
+/// Index-tree-sorting heuristic for any number of channels. O(N log N) sort
+/// plus a linear allocation pass.
+Result<AllocationResult> SortingHeuristic(const IndexTree& tree,
+                                          int num_channels);
+
+struct ShrinkOptions {
+  /// How to reduce trees that exceed the exact-search budget (the paper's two
+  /// shrinking variants).
+  enum class Strategy {
+    /// Collapse index nodes whose children are all data into pseudo data
+    /// nodes (lightest first) until the tree fits the exact search.
+    kNodeCombination,
+    /// Split at the root, solve each subtree recursively, merge the subtree
+    /// broadcasts in the sorted-subtree order.
+    kTreePartitioning,
+  };
+
+  /// Trees at or below this node count are solved exactly (must be <= 64).
+  int exact_size_limit = 22;
+  Strategy strategy = Strategy::kNodeCombination;
+};
+
+/// Index-tree-shrinking heuristic: node combination, exact search on the
+/// shrunken tree, expansion, and root partitioning as a fallback.
+Result<AllocationResult> ShrinkingHeuristic(const IndexTree& tree,
+                                            int num_channels,
+                                            const ShrinkOptions& options = {});
+
+/// Packs a feasible linear node order into <= num_channels-wide slots,
+/// deferring any node whose parent has not yet been placed in a strictly
+/// earlier slot. Used by both heuristics and by the baselines.
+SlotSequence PackLinearOrder(const IndexTree& tree, int num_channels,
+                             const std::vector<NodeId>& order);
+
+}  // namespace bcast
+
+#endif  // BCAST_ALLOC_HEURISTICS_H_

@@ -1,0 +1,37 @@
+#include "alloc/optimal.h"
+
+#include "alloc/baselines.h"
+#include "alloc/data_tree.h"
+#include "alloc/topo_search.h"
+
+namespace bcast {
+
+Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
+                                               int num_channels,
+                                               const OptimalOptions& options) {
+  if (!tree.finalized()) {
+    return FailedPreconditionError("index tree must be finalized");
+  }
+  if (num_channels < 1) return InvalidArgumentError("need at least one channel");
+
+  if (num_channels >= tree.max_level_width()) {
+    return LevelAllocation(tree, num_channels);
+  }
+  if (num_channels == 1 && options.use_pruning) {
+    DataTreeOptions dt_options;
+    dt_options.max_steps = options.max_expansions;
+    auto search = DataTreeSearch::Create(tree, dt_options);
+    if (!search.ok()) return search.status();
+    return search->FindOptimal();
+  }
+  TopoTreeSearch::Options topo_options;
+  topo_options.num_channels = num_channels;
+  topo_options.prune_candidates = options.use_pruning;
+  topo_options.prune_local_swap = options.use_pruning;
+  topo_options.max_expansions = options.max_expansions;
+  auto search = TopoTreeSearch::Create(tree, topo_options);
+  if (!search.ok()) return search.status();
+  return search->FindOptimalDfs();
+}
+
+}  // namespace bcast

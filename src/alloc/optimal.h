@@ -1,0 +1,35 @@
+// One-call exact optimizer: dispatches to the cheapest exact method for the
+// given instance.
+//
+//  * num_channels >= max level width  ->  level allocation (Corollary 1:
+//    every data node d attains its floor T(d) = level(d), so this is optimal
+//    in O(N));
+//  * one channel                      ->  data-tree search (Section 3.3);
+//  * otherwise                        ->  pruned topological-tree
+//    branch-and-bound (Sections 3.1–3.2).
+
+#ifndef BCAST_ALLOC_OPTIMAL_H_
+#define BCAST_ALLOC_OPTIMAL_H_
+
+#include "alloc/allocation.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+struct OptimalOptions {
+  /// Disable to run the raw unpruned search (testing/ablation only).
+  bool use_pruning = true;
+  /// Forwarded to the underlying searches.
+  uint64_t max_expansions = 200'000'000;
+};
+
+/// Exact minimum-average-data-wait allocation. Errors on trees over 64 nodes
+/// (use the heuristics) or if the search budget is exhausted.
+Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
+                                               int num_channels,
+                                               const OptimalOptions& options = {});
+
+}  // namespace bcast
+
+#endif  // BCAST_ALLOC_OPTIMAL_H_

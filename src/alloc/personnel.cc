@@ -1,0 +1,181 @@
+#include "alloc/personnel.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "util/check.h"
+
+namespace bcast {
+
+namespace {
+
+uint64_t Bit(int i) { return uint64_t{1} << i; }
+
+Status ValidateProblem(const PersonnelAssignmentProblem& problem) {
+  if (problem.num_jobs < 1) return InvalidArgumentError("no jobs");
+  if (problem.num_jobs > 64) {
+    return InvalidArgumentError("PAP solver supports at most 64 jobs");
+  }
+  if (static_cast<int>(problem.cost.size()) != problem.num_jobs) {
+    return InvalidArgumentError("cost matrix must have one row per job");
+  }
+  for (const auto& row : problem.cost) {
+    if (static_cast<int>(row.size()) != problem.num_jobs) {
+      return InvalidArgumentError("cost matrix must be square");
+    }
+  }
+  for (const auto& [a, b] : problem.precedence) {
+    if (a < 0 || b < 0 || a >= problem.num_jobs || b >= problem.num_jobs ||
+        a == b) {
+      return InvalidArgumentError("precedence edge out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+// Branch-and-bound state shared across the recursion.
+struct PapSearch {
+  const PersonnelAssignmentProblem* problem;
+  int n;
+  std::vector<uint64_t> predecessor_mask;  // per job
+  // suffix_min[i][t] = min over persons p >= t of cost[i][p].
+  std::vector<std::vector<double>> suffix_min;
+  uint64_t max_expansions;
+
+  SearchStats stats;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> assignment;       // person -> job along the current path
+  std::vector<int> best_assignment;  // person -> job
+
+  double Bound(uint64_t assigned, int next_person) const {
+    double bound = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if ((assigned & Bit(i)) == 0) {
+        bound += suffix_min[static_cast<size_t>(i)][static_cast<size_t>(next_person)];
+      }
+    }
+    return bound;
+  }
+
+  Status Dfs(uint64_t assigned, int person, double cost_so_far) {
+    ++stats.nodes_expanded;
+    if (stats.nodes_expanded > max_expansions) {
+      return ResourceExhaustedError("PAP search exceeded " +
+                                    std::to_string(max_expansions) +
+                                    " expansions");
+    }
+    if (person == n) {
+      ++stats.paths_completed;
+      if (cost_so_far < best_cost) {
+        best_cost = cost_so_far;
+        best_assignment = assignment;
+      }
+      return Status::Ok();
+    }
+    for (int job = 0; job < n; ++job) {
+      if ((assigned & Bit(job)) != 0) continue;
+      // Eligible iff all predecessors already assigned.
+      if ((predecessor_mask[static_cast<size_t>(job)] & ~assigned) != 0) {
+        continue;
+      }
+      double next_cost =
+          cost_so_far +
+          problem->cost[static_cast<size_t>(job)][static_cast<size_t>(person)];
+      if (next_cost + Bound(assigned | Bit(job), person + 1) >= best_cost) {
+        ++stats.nodes_pruned;
+        continue;
+      }
+      assignment[static_cast<size_t>(person)] = job;
+      BCAST_RETURN_IF_ERROR(Dfs(assigned | Bit(job), person + 1, next_cost));
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Result<PapSolution> SolvePersonnelAssignment(
+    const PersonnelAssignmentProblem& problem, const PapOptions& options) {
+  BCAST_RETURN_IF_ERROR(ValidateProblem(problem));
+
+  PapSearch search;
+  search.problem = &problem;
+  search.n = problem.num_jobs;
+  search.max_expansions = options.max_expansions;
+  search.predecessor_mask.assign(static_cast<size_t>(search.n), 0);
+  for (const auto& [a, b] : problem.precedence) {
+    search.predecessor_mask[static_cast<size_t>(b)] |= Bit(a);
+  }
+  search.suffix_min.assign(static_cast<size_t>(search.n),
+                           std::vector<double>(static_cast<size_t>(search.n) + 1,
+                                               0.0));
+  for (int i = 0; i < search.n; ++i) {
+    auto& row = search.suffix_min[static_cast<size_t>(i)];
+    row[static_cast<size_t>(search.n)] =
+        std::numeric_limits<double>::infinity();
+    for (int t = search.n - 1; t >= 0; --t) {
+      row[static_cast<size_t>(t)] =
+          std::min(row[static_cast<size_t>(t) + 1],
+                   problem.cost[static_cast<size_t>(i)][static_cast<size_t>(t)]);
+    }
+  }
+  search.assignment.assign(static_cast<size_t>(search.n), -1);
+
+  BCAST_RETURN_IF_ERROR(search.Dfs(0, 0, 0.0));
+  if (search.best_cost == std::numeric_limits<double>::infinity()) {
+    // No complete topological order exists: the precedence relation is
+    // cyclic (every acyclic relation admits an order).
+    return InvalidArgumentError("precedence relation contains a cycle");
+  }
+
+  PapSolution solution;
+  solution.total_cost = search.best_cost;
+  solution.stats = search.stats;
+  solution.person_of_job.assign(static_cast<size_t>(search.n), -1);
+  for (int person = 0; person < search.n; ++person) {
+    solution.person_of_job[static_cast<size_t>(
+        search.best_assignment[static_cast<size_t>(person)])] = person;
+  }
+  return solution;
+}
+
+PersonnelAssignmentProblem PapFromIndexTree(const IndexTree& tree) {
+  BCAST_CHECK(tree.finalized());
+  PersonnelAssignmentProblem problem;
+  problem.num_jobs = tree.num_nodes();
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    NodeId parent = tree.parent(id);
+    if (parent != kInvalidNode) problem.precedence.push_back({parent, id});
+  }
+  problem.cost.assign(static_cast<size_t>(problem.num_jobs),
+                      std::vector<double>(static_cast<size_t>(problem.num_jobs),
+                                          0.0));
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    if (!tree.is_data(id)) continue;
+    for (int slot = 0; slot < problem.num_jobs; ++slot) {
+      // Persons are the 1-based broadcast slots (T(d) of formula 1).
+      problem.cost[static_cast<size_t>(id)][static_cast<size_t>(slot)] =
+          tree.weight(id) * static_cast<double>(slot + 1);
+    }
+  }
+  return problem;
+}
+
+PersonnelAssignmentProblem PapFromWeightedDag(
+    const std::vector<double>& weights,
+    const std::vector<std::pair<int, int>>& edges) {
+  PersonnelAssignmentProblem problem;
+  problem.num_jobs = static_cast<int>(weights.size());
+  problem.precedence = edges;
+  problem.cost.assign(weights.size(),
+                      std::vector<double>(weights.size(), 0.0));
+  for (size_t i = 0; i < weights.size(); ++i) {
+    for (size_t j = 0; j < weights.size(); ++j) {
+      problem.cost[i][j] = weights[i] * static_cast<double>(j + 1);
+    }
+  }
+  return problem;
+}
+
+}  // namespace bcast

@@ -1,0 +1,73 @@
+// The Personnel Assignment Problem (PAP) — the NP-hard problem the paper
+// transforms index-and-data allocation into (Section 2.2, after [Str89]).
+//
+// Given a linearly ordered set of persons P1 < ... < Pn, a partially ordered
+// set of jobs, and a cost C(i, j) for assigning job Ji to person Pj, find a
+// one-to-one assignment minimizing total cost subject to: Ji <= Jj implies
+// f(Ji) < f(Jj).
+//
+// This module provides a standalone exact solver (branch-and-bound over
+// topological orders with a suffix-minimum lower bound) plus the paper's
+// transformation: a single-channel broadcast instance maps to a PAP whose
+// jobs are the tree nodes (ordered by the ancestor relation), persons are
+// the slots, and C(i, j) = W(i)·j for data nodes / 0 for index nodes. The
+// test suite uses the transformation as an independent oracle: the PAP
+// optimum must equal the data-tree search optimum.
+//
+// Because the precedence input is an arbitrary DAG, the solver also covers
+// the paper's third future-work item (broadcast data with general dependency
+// graphs, cf. [CHK99]) on a single channel.
+
+#ifndef BCAST_ALLOC_PERSONNEL_H_
+#define BCAST_ALLOC_PERSONNEL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// A PAP instance. Jobs and persons are 0-based; `cost[i][j]` is the cost of
+/// assigning job i to person j (the matrix must be square, num_jobs²).
+struct PersonnelAssignmentProblem {
+  int num_jobs = 0;
+  /// (a, b) means job a must be assigned to an earlier person than job b.
+  std::vector<std::pair<int, int>> precedence;
+  std::vector<std::vector<double>> cost;
+};
+
+struct PapSolution {
+  std::vector<int> person_of_job;  // person index per job
+  double total_cost = 0.0;
+  SearchStats stats;
+};
+
+struct PapOptions {
+  uint64_t max_expansions = 50'000'000;
+};
+
+/// Exact solution by branch-and-bound over the topological orders of the job
+/// poset. Errors on malformed instances (non-square costs, out-of-range or
+/// cyclic precedence), more than 64 jobs, or an exhausted search budget.
+Result<PapSolution> SolvePersonnelAssignment(
+    const PersonnelAssignmentProblem& problem, const PapOptions& options = {});
+
+/// The paper's Section 2.2 transformation for one broadcast channel: jobs =
+/// tree nodes, persons = slots 1..N, C(data i, slot j) = W(i)·j, C(index, ·)
+/// = 0, precedence = the parent-child edges.
+PersonnelAssignmentProblem PapFromIndexTree(const IndexTree& tree);
+
+/// A weighted-DAG broadcast instance on one channel (future-work #3): node i
+/// has weight w_i (0 for pure "index" nodes) and must air after all its
+/// predecessors; C(i, j) = w_i·(j+1).
+PersonnelAssignmentProblem PapFromWeightedDag(
+    const std::vector<double>& weights,
+    const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace bcast
+
+#endif  // BCAST_ALLOC_PERSONNEL_H_

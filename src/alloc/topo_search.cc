@@ -1,0 +1,502 @@
+#include "alloc/topo_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace bcast {
+
+namespace {
+
+// Iterates the node ids set in a compound-set bitmask.
+template <typename Fn>
+void ForEachBit(uint64_t set, Fn fn) {
+  while (set != 0) {
+    int id = __builtin_ctzll(set);
+    fn(static_cast<NodeId>(id));
+    set &= set - 1;
+  }
+}
+
+uint64_t Bit(NodeId id) { return uint64_t{1} << id; }
+
+}  // namespace
+
+Result<TopoTreeSearch> TopoTreeSearch::Create(const IndexTree& tree,
+                                              Options options) {
+  if (!tree.finalized()) {
+    return FailedPreconditionError("index tree must be finalized");
+  }
+  if (tree.num_nodes() > 64) {
+    return InvalidArgumentError(
+        "exact topological-tree search supports at most 64 nodes, got " +
+        std::to_string(tree.num_nodes()) +
+        " (use the heuristics for larger trees)");
+  }
+  if (options.num_channels < 1) {
+    return InvalidArgumentError("need at least one broadcast channel");
+  }
+  return TopoTreeSearch(tree, options);
+}
+
+TopoTreeSearch::TopoTreeSearch(const IndexTree& tree, Options options)
+    : tree_(tree), options_(options) {
+  int n = tree.num_nodes();
+  full_mask_ = n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  data_by_weight_ = tree.DataNodes();
+  std::sort(data_by_weight_.begin(), data_by_weight_.end(),
+            [&](NodeId a, NodeId b) {
+              if (tree_.weight(a) != tree_.weight(b)) {
+                return tree_.weight(a) > tree_.weight(b);
+              }
+              return a < b;
+            });
+}
+
+double TopoTreeSearch::SetDataWeight(uint64_t set) const {
+  double sum = 0.0;
+  ForEachBit(set, [&](NodeId id) {
+    if (tree_.is_data(id)) sum += tree_.weight(id);
+  });
+  return sum;
+}
+
+void TopoTreeSearch::Candidates(uint64_t mask, std::vector<NodeId>* out) const {
+  out->clear();
+  for (NodeId id = 0; id < tree_.num_nodes(); ++id) {
+    if ((mask & Bit(id)) != 0) continue;
+    NodeId parent = tree_.parent(id);
+    if (parent != kInvalidNode && (mask & Bit(parent)) != 0) out->push_back(id);
+  }
+}
+
+void TopoTreeSearch::GenerateNeighbors(uint64_t mask, uint64_t last_set,
+                                       std::vector<uint64_t>* out,
+                                       SearchStats* stats) const {
+  out->clear();
+  std::vector<NodeId> candidates;
+  Candidates(mask, &candidates);
+  if (candidates.empty()) return;
+
+  const size_t k = static_cast<size_t>(options_.num_channels);
+
+  // Properties of the previous compound node P.
+  bool p_all_index = true;
+  double p_min_data_weight = std::numeric_limits<double>::infinity();
+  ForEachBit(last_set, [&](NodeId id) {
+    if (tree_.is_data(id)) {
+      p_all_index = false;
+      p_min_data_weight = std::min(p_min_data_weight, tree_.weight(id));
+    }
+  });
+  auto is_child_of_p = [&](NodeId id) {
+    NodeId parent = tree_.parent(id);
+    return parent != kInvalidNode && (last_set & Bit(parent)) != 0;
+  };
+
+  // ---- Appendix Step 2: prune the candidate set. --------------------------
+  if (options_.prune_candidates) {
+    std::vector<NodeId> pruned;
+    pruned.reserve(candidates.size());
+    if (p_all_index) {
+      if (k == 1) {
+        // Case 1(i): only children of p; among data children only the
+        // heaviest (Property 2, characteristic 1).
+        NodeId best_data = kInvalidNode;
+        for (NodeId id : candidates) {
+          if (!is_child_of_p(id)) continue;
+          if (tree_.is_index(id)) {
+            pruned.push_back(id);
+          } else if (best_data == kInvalidNode ||
+                     tree_.weight(id) > tree_.weight(best_data) ||
+                     (tree_.weight(id) == tree_.weight(best_data) &&
+                      id < best_data)) {
+            best_data = id;
+          }
+        }
+        if (best_data != kInvalidNode) pruned.push_back(best_data);
+      } else {
+        // Case 1(ii): drop data that are not children of P; keep only the k
+        // heaviest remaining data (Property 3, characteristics 1/2).
+        std::vector<NodeId> data_kept;
+        for (NodeId id : candidates) {
+          if (tree_.is_index(id)) {
+            pruned.push_back(id);
+          } else if (is_child_of_p(id)) {
+            data_kept.push_back(id);
+          }
+        }
+        std::sort(data_kept.begin(), data_kept.end(), [&](NodeId a, NodeId b) {
+          if (tree_.weight(a) != tree_.weight(b)) {
+            return tree_.weight(a) > tree_.weight(b);
+          }
+          return a < b;
+        });
+        if (data_kept.size() > k) data_kept.resize(k);
+        pruned.insert(pruned.end(), data_kept.begin(), data_kept.end());
+      }
+    } else {
+      // Case 2: drop data nodes that are not children of P but are heavier
+      // than some data node in P (Property 3, characteristic 4 / Property 2,
+      // characteristic 2).
+      for (NodeId id : candidates) {
+        if (tree_.is_data(id) && !is_child_of_p(id) &&
+            tree_.weight(id) > p_min_data_weight) {
+          continue;
+        }
+        pruned.push_back(id);
+      }
+    }
+    candidates = std::move(pruned);
+    if (candidates.empty()) return;  // dead end; a sibling branch survives
+  }
+
+  const size_t t = std::min(k, candidates.size());
+
+  // ---- Appendix Step 3: generate the k-component subsets. -----------------
+  std::vector<uint64_t> generated;
+  if (!options_.prune_candidates) {
+    // Plain Algorithm 1: every t-subset.
+    ForEachKSubset<NodeId>(candidates, t,
+                           [&](const std::vector<NodeId>& subset) {
+                             uint64_t sm = 0;
+                             for (NodeId id : subset) sm |= Bit(id);
+                             generated.push_back(sm);
+                           });
+  } else {
+    // Rule (i): the n data nodes of a subset must be the n heaviest data
+    // candidates, so data enter as a prefix of the weight-sorted list.
+    std::vector<NodeId> data_sorted, index_list;
+    for (NodeId id : candidates) {
+      (tree_.is_data(id) ? data_sorted : index_list).push_back(id);
+    }
+    std::sort(data_sorted.begin(), data_sorted.end(), [&](NodeId a, NodeId b) {
+      if (tree_.weight(a) != tree_.weight(b)) {
+        return tree_.weight(a) > tree_.weight(b);
+      }
+      return a < b;
+    });
+    size_t min_data = data_sorted.size() >= t && index_list.empty() ? t : 0;
+    if (t > index_list.size()) min_data = std::max(min_data, t - index_list.size());
+    for (size_t d = min_data; d <= std::min(t, data_sorted.size()); ++d) {
+      uint64_t data_mask = 0;
+      for (size_t i = 0; i < d; ++i) data_mask |= Bit(data_sorted[i]);
+      size_t want_index = t - d;
+      if (want_index > index_list.size()) continue;
+      if (want_index == 0) {
+        generated.push_back(data_mask);
+        continue;
+      }
+      ForEachKSubset<NodeId>(index_list, want_index,
+                             [&](const std::vector<NodeId>& subset) {
+                               uint64_t sm = data_mask;
+                               for (NodeId id : subset) sm |= Bit(id);
+                               generated.push_back(sm);
+                             });
+    }
+    // Rule (ii): with an all-index P and k > 1, a subset must contain at
+    // least one child of an element of P.
+    if (p_all_index && k != 1) {
+      std::erase_if(generated, [&](uint64_t sm) {
+        bool has_child = false;
+        ForEachBit(sm, [&](NodeId id) { has_child = has_child || is_child_of_p(id); });
+        if (!has_child && stats != nullptr) ++stats->nodes_pruned;
+        return !has_child;
+      });
+    }
+  }
+
+  // ---- Appendix Step 4: local-swap elimination. ----------------------------
+  if (options_.prune_local_swap) {
+    std::vector<NodeId> p_index_nodes;
+    ForEachBit(last_set, [&](NodeId id) {
+      if (tree_.is_index(id)) p_index_nodes.push_back(id);
+    });
+    std::erase_if(generated, [&](uint64_t subset) {
+      for (NodeId x : p_index_nodes) {
+        // x can move down only if none of its children sit in the subset.
+        bool child_in_subset = false;
+        for (NodeId c : tree_.children(x)) {
+          if ((subset & Bit(c)) != 0) {
+            child_in_subset = true;
+            break;
+          }
+        }
+        if (child_in_subset) continue;
+        bool eliminate = false;
+        ForEachBit(subset, [&](NodeId y) {
+          if (eliminate || is_child_of_p(y)) return;
+          if (tree_.is_data(y)) {
+            // Step 4(i): a data node could be swapped one slot earlier with
+            // index node x — strictly better, so this subset cannot be on an
+            // optimal path.
+            eliminate = true;
+          } else if (tree_.node(y).preorder_rank > tree_.node(x).preorder_rank) {
+            // Step 4(ii): two swappable index nodes; keep only the canonical
+            // order (Section 3.2's unique index weights).
+            eliminate = true;
+          }
+        });
+        if (eliminate) {
+          if (stats != nullptr) ++stats->nodes_pruned;
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  if (stats != nullptr) stats->nodes_generated += generated.size();
+  *out = std::move(generated);
+}
+
+double TopoTreeSearch::LowerBound(uint64_t mask, int depth) const {
+  const int k = options_.num_channels;
+  double bound = 0.0;
+  if (options_.bound == BoundKind::kPaperNextSlot) {
+    for (NodeId d : data_by_weight_) {
+      if ((mask & Bit(d)) == 0) {
+        bound += tree_.weight(d) * static_cast<double>(depth + 1);
+      }
+    }
+    return bound;
+  }
+  // Packed bound: heaviest remaining data first, k per slot.
+  int slot = depth + 1;
+  int in_slot = 0;
+  for (NodeId d : data_by_weight_) {
+    if ((mask & Bit(d)) != 0) continue;
+    bound += tree_.weight(d) * static_cast<double>(slot);
+    if (++in_slot == k) {
+      ++slot;
+      in_slot = 0;
+    }
+  }
+  return bound;
+}
+
+// ---------------------------------------------------------------------------
+// Depth-first traversal (counting and branch-and-bound)
+// ---------------------------------------------------------------------------
+
+struct TopoTreeSearch::DfsContext {
+  enum class Mode { kCountPaths, kCountNodes, kOptimize };
+  Mode mode = Mode::kOptimize;
+  uint64_t limit = 0;  // for the counting modes
+  uint64_t count = 0;
+  SearchStats stats;
+  double best_v = std::numeric_limits<double>::infinity();
+  std::vector<uint64_t> current_path;
+  std::vector<uint64_t> best_path;
+  std::vector<uint64_t> neighbor_scratch;  // reused across levels via copies
+};
+
+Status TopoTreeSearch::Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set,
+                           int depth, double v) {
+  ++ctx->stats.nodes_expanded;
+  if (ctx->stats.nodes_expanded > options_.max_expansions) {
+    return ResourceExhaustedError("topological-tree search exceeded " +
+                                  std::to_string(options_.max_expansions) +
+                                  " expansions");
+  }
+  if (ctx->mode == DfsContext::Mode::kCountNodes) {
+    ++ctx->count;
+    if (ctx->count > ctx->limit) {
+      return ResourceExhaustedError("more than " + std::to_string(ctx->limit) +
+                                    " topological-tree nodes");
+    }
+  }
+  if (mask == full_mask_) {
+    ++ctx->stats.paths_completed;
+    if (ctx->mode == DfsContext::Mode::kCountPaths) {
+      ++ctx->count;
+      if (ctx->count > ctx->limit) {
+        return ResourceExhaustedError("more than " + std::to_string(ctx->limit) +
+                                      " topological-tree paths");
+      }
+    } else if (ctx->mode == DfsContext::Mode::kOptimize && v < ctx->best_v) {
+      ctx->best_v = v;
+      ctx->best_path = ctx->current_path;
+    }
+    return Status::Ok();
+  }
+
+  std::vector<uint64_t> neighbors;
+  GenerateNeighbors(mask, last_set, &neighbors, &ctx->stats);
+  if (ctx->mode == DfsContext::Mode::kOptimize) {
+    // Visit promising neighbors first so the incumbent tightens quickly.
+    std::sort(neighbors.begin(), neighbors.end(), [&](uint64_t a, uint64_t b) {
+      return SetDataWeight(a) > SetDataWeight(b);
+    });
+  }
+  for (uint64_t subset : neighbors) {
+    double nv = v + SetDataWeight(subset) * static_cast<double>(depth + 1);
+    if (ctx->mode == DfsContext::Mode::kOptimize) {
+      if (nv + LowerBound(mask | subset, depth + 1) >= ctx->best_v) continue;
+    }
+    ctx->current_path.push_back(subset);
+    Status status = Dfs(ctx, mask | subset, subset, depth + 1, nv);
+    ctx->current_path.pop_back();
+    BCAST_RETURN_IF_ERROR(status);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+SlotSequence PathToSlots(NodeId root, const std::vector<uint64_t>& path) {
+  SlotSequence slots;
+  slots.push_back({root});
+  for (uint64_t set : path) {
+    std::vector<NodeId> slot;
+    ForEachBit(set, [&](NodeId id) { slot.push_back(id); });
+    slots.push_back(std::move(slot));
+  }
+  return slots;
+}
+
+}  // namespace
+
+Result<uint64_t> TopoTreeSearch::CountPaths(uint64_t limit) {
+  DfsContext ctx;
+  ctx.mode = DfsContext::Mode::kCountPaths;
+  ctx.limit = limit;
+  NodeId root = tree_.root();
+  double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
+  BCAST_RETURN_IF_ERROR(Dfs(&ctx, Bit(root), Bit(root), 1, v0));
+  return ctx.count;
+}
+
+Result<uint64_t> TopoTreeSearch::CountTreeNodes(uint64_t limit) {
+  DfsContext ctx;
+  ctx.mode = DfsContext::Mode::kCountNodes;
+  ctx.limit = limit;
+  NodeId root = tree_.root();
+  double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
+  BCAST_RETURN_IF_ERROR(Dfs(&ctx, Bit(root), Bit(root), 1, v0));
+  return ctx.count;
+}
+
+Result<AllocationResult> TopoTreeSearch::FindOptimalDfs() {
+  DfsContext ctx;
+  ctx.mode = DfsContext::Mode::kOptimize;
+  NodeId root = tree_.root();
+  double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
+  BCAST_RETURN_IF_ERROR(Dfs(&ctx, Bit(root), Bit(root), 1, v0));
+  if (ctx.best_v == std::numeric_limits<double>::infinity()) {
+    return InternalError("no feasible allocation found (pruning dead end)");
+  }
+  AllocationResult result;
+  result.slots = PathToSlots(root, ctx.best_path);
+  result.average_data_wait = ctx.best_v / tree_.total_data_weight();
+  result.stats = ctx.stats;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Best-first search (the paper's Section 3.1 strategy)
+// ---------------------------------------------------------------------------
+
+Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst() {
+  struct ArenaNode {
+    uint64_t mask;
+    uint64_t last_set;
+    double v;
+    int depth;
+    int parent;  // arena index, -1 for the root
+  };
+  struct QueueEntry {
+    double e;  // E(X) = V(X) + U(X)
+    double v;
+    int arena_index;
+    bool operator>(const QueueEntry& other) const {
+      if (e != other.e) return e > other.e;
+      return v > other.v;
+    }
+  };
+
+  SearchStats stats;
+  std::vector<ArenaNode> arena;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> open;
+
+  NodeId root = tree_.root();
+  double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
+  arena.push_back({Bit(root), Bit(root), v0, 1, -1});
+  open.push({v0 + LowerBound(Bit(root), 1), v0, 0});
+
+  // Dominance: a state is skippable if an already-seen state with the same
+  // key has both depth' <= depth and v' <= v. Without pruning the neighbor
+  // set depends only on the allocated mask, so the key is the mask alone;
+  // with pruning it also depends on the previous compound node.
+  const bool pruning = options_.prune_candidates || options_.prune_local_swap;
+  struct Seen {
+    int depth;
+    double v;
+  };
+  std::unordered_map<uint64_t, std::vector<Seen>> seen;
+  auto state_key = [&](uint64_t mask, uint64_t last_set) -> uint64_t {
+    if (!pruning) return mask;
+    return mask ^ (last_set * uint64_t{0x9E3779B97F4A7C15});
+  };
+  auto dominated = [&](uint64_t key, int depth, double v) {
+    auto it = seen.find(key);
+    if (it == seen.end()) return false;
+    for (const Seen& s : it->second) {
+      if (s.depth <= depth && s.v <= v + 1e-12) return true;
+    }
+    return false;
+  };
+
+  std::vector<uint64_t> neighbors;
+  while (!open.empty()) {
+    QueueEntry top = open.top();
+    open.pop();
+    const ArenaNode node = arena[static_cast<size_t>(top.arena_index)];
+    if (node.mask == full_mask_) {
+      // First goal popped: optimal because E is a lower bound on total cost.
+      std::vector<uint64_t> path;
+      int cur = top.arena_index;
+      while (arena[static_cast<size_t>(cur)].parent != -1) {
+        path.push_back(arena[static_cast<size_t>(cur)].last_set);
+        cur = arena[static_cast<size_t>(cur)].parent;
+      }
+      std::reverse(path.begin(), path.end());
+      AllocationResult result;
+      result.slots = PathToSlots(root, path);
+      result.average_data_wait = node.v / tree_.total_data_weight();
+      result.stats = stats;
+      result.stats.paths_completed = 1;
+      return result;
+    }
+    uint64_t key = state_key(node.mask, node.last_set);
+    if (dominated(key, node.depth, node.v)) continue;
+    seen[key].push_back({node.depth, node.v});
+
+    ++stats.nodes_expanded;
+    if (stats.nodes_expanded > options_.max_expansions) {
+      return ResourceExhaustedError("best-first search exceeded " +
+                                    std::to_string(options_.max_expansions) +
+                                    " expansions");
+    }
+    GenerateNeighbors(node.mask, node.last_set, &neighbors, &stats);
+    for (uint64_t subset : neighbors) {
+      uint64_t child_mask = node.mask | subset;
+      int child_depth = node.depth + 1;
+      double child_v =
+          node.v + SetDataWeight(subset) * static_cast<double>(child_depth);
+      uint64_t child_key = state_key(child_mask, subset);
+      if (dominated(child_key, child_depth, child_v)) continue;
+      arena.push_back({child_mask, subset, child_v, child_depth, top.arena_index});
+      open.push({child_v + LowerBound(child_mask, child_depth), child_v,
+                 static_cast<int>(arena.size()) - 1});
+    }
+  }
+  return InternalError("best-first search exhausted the open list");
+}
+
+}  // namespace bcast

@@ -1,0 +1,117 @@
+// The k-channel topological-tree search (Sections 3.1–3.2 of the paper).
+//
+// Algorithm 1 represents every feasible allocation as a root-to-leaf path of
+// a *topological tree*: each tree node is a compound set of <= k index/data
+// nodes sharing one broadcast slot, and the children of a topological node P
+// are the k-component subsets of the candidate set
+//     S = ∪_{y in PATH(P)} Children(y) − PATH(P).
+//
+// This class implements:
+//  * exhaustive enumeration of that tree (no pruning) — the ground truth;
+//  * the Appendix's reduced tree: Step 2 candidate pruning (Property 2 for
+//    one channel, Property 3 characteristics 1/2/4 for k > 1), Step 3 subset
+//    rules (heaviest-prefix data, child-of-P requirement) and Step 4 local
+//    swap elimination (Lemmas 4/5 and the preorder-rank tie-break of
+//    Section 3.2);
+//  * two exact optimizers over the (possibly reduced) tree: depth-first
+//    branch-and-bound, and the paper's best-first search with
+//    E(X) = V(X) + U(X) (Section 3.1), where U(X) is an admissible estimate
+//    of the remaining data wait.
+//
+// The search state is a bitmask of allocated nodes, so trees are limited to
+// 64 nodes — the regime the paper itself targets with the exact search
+// (Section 4.1 concludes the exact algorithm "is applicable only to a small
+// size of the problem"; larger inputs go through src/alloc/heuristics.h).
+
+#ifndef BCAST_ALLOC_TOPO_SEARCH_H_
+#define BCAST_ALLOC_TOPO_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// Exact search over the k-channel topological tree.
+class TopoTreeSearch {
+ public:
+  /// Lower-bound estimate U(X) used by both optimizers.
+  enum class BoundKind {
+    /// The paper's U(X): every unallocated data node lands in the very next
+    /// slot. Admissible but loose.
+    kPaperNextSlot,
+    /// Packed bound: unallocated data nodes, heaviest first, fill the next
+    /// slots k at a time. Still admissible (ignores index nodes and ordering
+    /// constraints) and much tighter. Default.
+    kPacked,
+  };
+
+  struct Options {
+    int num_channels = 1;
+    /// Appendix Steps 2–3: candidate-set pruning and subset-generation rules
+    /// (Properties 2 and 3, Lemma 3).
+    bool prune_candidates = false;
+    /// Appendix Step 4: local-swap elimination (Lemmas 4/5; index-node order
+    /// canonicalized by preorder rank per Section 3.2).
+    bool prune_local_swap = false;
+    BoundKind bound = BoundKind::kPacked;
+    /// Safety valve: searches give up with RESOURCE_EXHAUSTED beyond this
+    /// many topological-tree node expansions.
+    uint64_t max_expansions = 200'000'000;
+  };
+
+  /// Errors if the tree exceeds 64 nodes or num_channels < 1.
+  static Result<TopoTreeSearch> Create(const IndexTree& tree, Options options);
+
+  /// Counts complete root-to-leaf paths of the (possibly reduced)
+  /// topological tree — the "Total Paths" quantity of the paper's Table 1.
+  /// RESOURCE_EXHAUSTED once the count exceeds `limit`.
+  Result<uint64_t> CountPaths(uint64_t limit);
+
+  /// Counts nodes of the (possibly reduced) topological tree, the size
+  /// measure visible in Figs. 6/7 versus Figs. 9/10.
+  Result<uint64_t> CountTreeNodes(uint64_t limit);
+
+  /// Exact optimum by depth-first branch-and-bound.
+  Result<AllocationResult> FindOptimalDfs();
+
+  /// Exact optimum by the paper's best-first strategy (priority queue on
+  /// E(X) = V(X) + U(X), with dominance pruning on equal states).
+  Result<AllocationResult> FindOptimalBestFirst();
+
+ private:
+  TopoTreeSearch(const IndexTree& tree, Options options);
+
+  // Sum of data weights inside a compound-set bitmask.
+  double SetDataWeight(uint64_t set) const;
+
+  // Candidate set S for the allocated-set `mask` (ids of nodes whose parent
+  // is allocated but which are not).
+  void Candidates(uint64_t mask, std::vector<NodeId>* out) const;
+
+  // Generates the next-neighbor compound sets of `last_set` given `mask`,
+  // applying the configured pruning. Appends submasks to `out`.
+  void GenerateNeighbors(uint64_t mask, uint64_t last_set,
+                         std::vector<uint64_t>* out, SearchStats* stats) const;
+
+  // Admissible lower bound on the *additional* weighted wait of data nodes
+  // not in `mask`, if the next slot index is `depth + 1` (1-based).
+  double LowerBound(uint64_t mask, int depth) const;
+
+  // Depth-first worker shared by counting and branch-and-bound.
+  struct DfsContext;
+  Status Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set, int depth,
+             double v);
+
+  const IndexTree& tree_;
+  Options options_;
+  uint64_t full_mask_ = 0;
+  std::vector<NodeId> data_by_weight_;  // data ids, heaviest first
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_ALLOC_TOPO_SEARCH_H_

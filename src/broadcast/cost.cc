@@ -1,0 +1,93 @@
+#include "broadcast/cost.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace bcast {
+
+double AverageDataWait(const IndexTree& tree, const BroadcastSchedule& schedule) {
+  double weighted = 0.0;
+  double total_weight = tree.total_data_weight();
+  BCAST_CHECK_GT(total_weight, 0.0) << "all data weights are zero";
+  for (NodeId d : tree.DataNodes()) {
+    weighted += tree.weight(d) * static_cast<double>(schedule.DataWaitOf(d));
+  }
+  return weighted / total_weight;
+}
+
+AccessCosts ComputeAccessCosts(const IndexTree& tree,
+                               const BroadcastSchedule& schedule) {
+  AccessCosts costs;
+  costs.cycle_length = schedule.num_slots();
+  costs.empty_buckets = schedule.empty_buckets();
+  double total_weight = tree.total_data_weight();
+  BCAST_CHECK_GT(total_weight, 0.0);
+
+  double wait = 0.0, tuning = 0.0, switches = 0.0;
+  for (NodeId d : tree.DataNodes()) {
+    double w = tree.weight(d);
+    wait += w * static_cast<double>(schedule.DataWaitOf(d));
+    // A client probing for d listens to the root, every index node on the
+    // path, and the data bucket itself: level(d) buckets in total.
+    tuning += w * static_cast<double>(tree.node(d).level);
+    // Channel switches along the pointer path root -> ... -> d.
+    int hops = 0;
+    NodeId cur = d;
+    while (tree.parent(cur) != kInvalidNode) {
+      NodeId parent = tree.parent(cur);
+      if (schedule.placement(parent).channel != schedule.placement(cur).channel) {
+        ++hops;
+      }
+      cur = parent;
+    }
+    switches += w * static_cast<double>(hops);
+  }
+  costs.average_data_wait = wait / total_weight;
+  costs.average_tuning_time = tuning / total_weight;
+  costs.average_switches = switches / total_weight;
+  return costs;
+}
+
+double DataWaitLowerBound(const IndexTree& tree, int num_channels) {
+  BCAST_CHECK_GE(num_channels, 1);
+  // Relaxation: drop index nodes and the consistency of ancestor placement;
+  // keep only (a) per-slot capacity k and (b) the release constraint
+  // T(d) >= level(d) (the ancestor chain of d needs level(d)-1 earlier
+  // slots). For unit-length jobs with release dates on identical machines,
+  // scheduling the k heaviest released jobs at each time step minimizes the
+  // weighted completion time, so this is a true lower bound.
+  struct Job {
+    double weight;
+    int release;  // earliest 1-based slot
+  };
+  std::vector<Job> jobs;
+  for (NodeId d : tree.DataNodes()) {
+    jobs.push_back({tree.weight(d), tree.node(d).level});
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job& a, const Job& b) { return a.release < b.release; });
+
+  double total_weight = tree.total_data_weight();
+  BCAST_CHECK_GT(total_weight, 0.0);
+  std::priority_queue<double> released;  // weights of released, unassigned jobs
+  size_t next = 0;
+  double weighted = 0.0;
+  size_t assigned = 0;
+  for (int slot = 1; assigned < jobs.size(); ++slot) {
+    while (next < jobs.size() && jobs[next].release <= slot) {
+      released.push(jobs[next].weight);
+      ++next;
+    }
+    for (int c = 0; c < num_channels && !released.empty(); ++c) {
+      weighted += released.top() * static_cast<double>(slot);
+      released.pop();
+      ++assigned;
+    }
+  }
+  return weighted / total_weight;
+}
+
+}  // namespace bcast

@@ -1,0 +1,43 @@
+// Analytic access-cost model over a broadcast schedule.
+//
+// The paper's objective (formula 1) is the weighted average data wait
+//   ADW = Σ_d W(d)·T(d) / Σ_d W(d),  T(d) = 1-based slot of data node d.
+// We additionally expose the tuning-time and channel-switch measures the
+// paper discusses qualitatively (tuning time depends only on the index-tree
+// shape; channel switches depend on the channel-assignment rules of §3.1).
+
+#ifndef BCAST_BROADCAST_COST_H_
+#define BCAST_BROADCAST_COST_H_
+
+#include "broadcast/schedule.h"
+#include "tree/index_tree.h"
+
+namespace bcast {
+
+/// Aggregate access costs of one schedule, averaged over queries drawn
+/// proportionally to data weights.
+struct AccessCosts {
+  double average_data_wait = 0.0;   // buckets (formula 1 of the paper)
+  double average_tuning_time = 0.0; // buckets listened: root path + data
+  double average_switches = 0.0;    // expected channel switches per access
+  int cycle_length = 0;             // slots in the cycle
+  int empty_buckets = 0;            // wasted channel space
+};
+
+/// The paper's formula (1). Checked: the schedule must place every data node.
+double AverageDataWait(const IndexTree& tree, const BroadcastSchedule& schedule);
+
+/// Full cost breakdown; requires a valid schedule (every node placed).
+AccessCosts ComputeAccessCosts(const IndexTree& tree,
+                               const BroadcastSchedule& schedule);
+
+/// Lower bound on the average data wait for `tree` on `num_channels`
+/// channels: data nodes sorted by descending weight, packed greedily from the
+/// earliest slot each could ever occupy (level constraint: a node at level L
+/// can appear no earlier than slot L). Useful for sanity checks and search
+/// guidance; not always attainable.
+double DataWaitLowerBound(const IndexTree& tree, int num_channels);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_COST_H_

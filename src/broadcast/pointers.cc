@@ -1,0 +1,30 @@
+#include "broadcast/pointers.h"
+
+namespace bcast {
+
+Result<PointerTable> MaterializePointers(const IndexTree& tree,
+                                         const BroadcastSchedule& schedule) {
+  BCAST_RETURN_IF_ERROR(ValidateSchedule(tree, schedule));
+  PointerTable table;
+  table.cycle_length = schedule.num_slots();
+  table.pointers.resize(static_cast<size_t>(tree.num_nodes()));
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    if (!tree.is_index(id)) continue;
+    SlotRef from = schedule.placement(id);
+    auto& out = table.pointers[static_cast<size_t>(id)];
+    out.reserve(tree.children(id).size());
+    for (NodeId child : tree.children(id)) {
+      SlotRef to = schedule.placement(child);
+      int offset = to.slot - from.slot;
+      if (offset <= 0) {
+        return FailedPreconditionError("pointer from '" + tree.label(id) +
+                                       "' to '" + tree.label(child) +
+                                       "' would not move forward");
+      }
+      out.push_back({child, to.channel, offset});
+    }
+  }
+  return table;
+}
+
+}  // namespace bcast

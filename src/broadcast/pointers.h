@@ -1,0 +1,43 @@
+// Pointer materialization: turns a feasible schedule into the on-air bucket
+// contents a client actually follows.
+//
+// Per Section 2.1 of the paper, the pointer data in each index bucket is a
+// (channel, offset) pair leading to each child's bucket, where the offset is
+// in slots ahead of the pointing bucket. Every bucket of the *first* channel
+// also carries a pointer to the first bucket of the next cycle, so a client
+// tuning in anywhere on channel 1 can reach the root.
+
+#ifndef BCAST_BROADCAST_POINTERS_H_
+#define BCAST_BROADCAST_POINTERS_H_
+
+#include <vector>
+
+#include "broadcast/schedule.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// A (channel, offset) pointer to a child bucket.
+struct BucketPointer {
+  NodeId target = kInvalidNode;
+  int channel = -1;  // 0-based channel of the target bucket
+  int offset = 0;    // slots ahead of the pointing bucket (> 0)
+};
+
+/// The full pointer table of one broadcast cycle.
+struct PointerTable {
+  /// pointers[n] lists the child pointers of index node n (empty for data
+  /// nodes), ordered as the children appear in the tree.
+  std::vector<std::vector<BucketPointer>> pointers;
+  int cycle_length = 0;
+};
+
+/// Builds the pointer table; errors if the schedule is not a feasible
+/// allocation of the tree (a pointer would have a non-positive offset).
+Result<PointerTable> MaterializePointers(const IndexTree& tree,
+                                         const BroadcastSchedule& schedule);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_POINTERS_H_

@@ -1,0 +1,133 @@
+#include "broadcast/program_io.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "tree/tree_io.h"
+#include "util/check.h"
+
+namespace bcast {
+
+namespace {
+
+// Label -> node id; errors on empty or duplicate labels.
+Result<std::map<std::string, NodeId>> LabelIndex(const IndexTree& tree) {
+  std::map<std::string, NodeId> index;
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    const std::string& label = tree.label(id);
+    if (label.empty()) {
+      return FailedPreconditionError("node " + std::to_string(id) +
+                                     " has an empty label");
+    }
+    if (label == ".") {
+      return FailedPreconditionError("label '.' is reserved for empty buckets");
+    }
+    if (!index.emplace(label, id).second) {
+      return FailedPreconditionError("duplicate node label '" + label + "'");
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+Result<std::string> FormatProgram(const IndexTree& tree,
+                                  const BroadcastSchedule& schedule) {
+  if (!tree.finalized()) {
+    return FailedPreconditionError("index tree must be finalized");
+  }
+  BCAST_RETURN_IF_ERROR(ValidateSchedule(tree, schedule));
+  auto labels = LabelIndex(tree);
+  if (!labels.ok()) return labels.status();
+
+  std::ostringstream os;
+  os << "bcast-program v1\n";
+  os << "channels " << schedule.num_channels() << "\n";
+  os << "slots " << schedule.num_slots() << "\n";
+  os << "tree " << FormatTree(tree) << "\n";
+  for (int c = 0; c < schedule.num_channels(); ++c) {
+    os << 'C' << (c + 1);
+    for (int s = 0; s < schedule.num_slots(); ++s) {
+      NodeId node = schedule.at(c, s);
+      os << ' ' << (node == kInvalidNode ? "." : tree.label(node));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Result<BroadcastProgram> ParseProgram(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  auto error = [&](const std::string& message) {
+    return InvalidArgumentError("line " + std::to_string(line_number) + ": " +
+                                message);
+  };
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_number;
+      if (!line.empty()) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "bcast-program v1") {
+    ++line_number;
+    return error("expected header 'bcast-program v1'");
+  }
+
+  int channels = 0, slots = 0;
+  if (!next_line() || std::sscanf(line.c_str(), "channels %d", &channels) != 1 ||
+      channels < 1) {
+    return error("expected 'channels <k>'");
+  }
+  if (!next_line() || std::sscanf(line.c_str(), "slots %d", &slots) != 1 ||
+      slots < 1) {
+    return error("expected 'slots <n>'");
+  }
+  if (!next_line() || line.rfind("tree ", 0) != 0) {
+    return error("expected 'tree <s-expression>'");
+  }
+  auto tree = ParseTree(line.substr(5));
+  if (!tree.ok()) return tree.status();
+  auto labels = LabelIndex(*tree);
+  if (!labels.ok()) return labels.status();
+
+  BroadcastSchedule schedule(channels, tree->num_nodes());
+  for (int c = 0; c < channels; ++c) {
+    if (!next_line()) return error("missing grid row C" + std::to_string(c + 1));
+    std::istringstream row(line);
+    std::string cell;
+    if (!(row >> cell) || cell != "C" + std::to_string(c + 1)) {
+      return error("expected grid row to start with C" + std::to_string(c + 1));
+    }
+    for (int s = 0; s < slots; ++s) {
+      if (!(row >> cell)) {
+        return error("row C" + std::to_string(c + 1) + " has fewer than " +
+                     std::to_string(slots) + " cells");
+      }
+      if (cell == ".") continue;
+      auto it = labels->find(cell);
+      if (it == labels->end()) return error("unknown node label '" + cell + "'");
+      Status placed = schedule.Place(it->second, c, s);
+      if (!placed.ok()) return error(placed.message());
+    }
+    std::string extra;
+    if (row >> extra) {
+      return error("row C" + std::to_string(c + 1) + " has more than " +
+                   std::to_string(slots) + " cells");
+    }
+  }
+  if (next_line()) return error("unexpected trailing content");
+
+  Status valid = ValidateSchedule(*tree, schedule);
+  if (!valid.ok()) {
+    return InvalidArgumentError("program is infeasible: " + valid.message());
+  }
+  return BroadcastProgram{std::move(tree).value(), std::move(schedule)};
+}
+
+}  // namespace bcast

@@ -1,0 +1,46 @@
+// Broadcast-program serialization.
+//
+// A *program* is the deployable unit a broadcast operator ships to the
+// transmitter: the index tree plus the channel × slot grid of one cycle.
+// This module defines a line-oriented text format that round-trips exactly:
+//
+//   bcast-program v1
+//   channels 2
+//   slots 5
+//   tree (1 (2 A:20 B:10) (3 (4 C:15 D:7) E:18))
+//   C1 1 2 A 4 C
+//   C2 . 3 B E D
+//
+// Grid cells are node labels; "." marks an empty bucket. Serialization
+// requires unique, non-empty node labels (errors otherwise); parsing
+// validates the grid against the tree (every node exactly once, children
+// after parents) so a loaded program is always feasible.
+
+#ifndef BCAST_BROADCAST_PROGRAM_IO_H_
+#define BCAST_BROADCAST_PROGRAM_IO_H_
+
+#include <string>
+
+#include "broadcast/schedule.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// A deserialized broadcast program.
+struct BroadcastProgram {
+  IndexTree tree;
+  BroadcastSchedule schedule;
+};
+
+/// Serializes; errors if labels are empty/duplicated or the schedule is not a
+/// feasible allocation of the tree.
+Result<std::string> FormatProgram(const IndexTree& tree,
+                                  const BroadcastSchedule& schedule);
+
+/// Parses and validates. Errors carry the offending line.
+Result<BroadcastProgram> ParseProgram(const std::string& text);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_PROGRAM_IO_H_

@@ -1,0 +1,125 @@
+#include "broadcast/schedule.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bcast {
+
+BroadcastSchedule::BroadcastSchedule(int num_channels, int num_nodes)
+    : num_channels_(num_channels) {
+  BCAST_CHECK_GE(num_channels, 1);
+  BCAST_CHECK_GE(num_nodes, 1);
+  grid_.resize(static_cast<size_t>(num_channels));
+  placement_.resize(static_cast<size_t>(num_nodes));
+}
+
+Status BroadcastSchedule::Place(NodeId node, int channel, int slot) {
+  if (node < 0 || node >= static_cast<NodeId>(placement_.size())) {
+    return InvalidArgumentError("node id out of range");
+  }
+  if (channel < 0 || channel >= num_channels_) {
+    return InvalidArgumentError("channel " + std::to_string(channel + 1) +
+                                " out of range (have " +
+                                std::to_string(num_channels_) + ")");
+  }
+  if (slot < 0) return InvalidArgumentError("negative slot");
+  if (placement_[static_cast<size_t>(node)].placed()) {
+    return FailedPreconditionError("node " + std::to_string(node) +
+                                   " already placed (no replication in a cycle)");
+  }
+  for (auto& channel_slots : grid_) {
+    if (static_cast<size_t>(slot) >= channel_slots.size()) {
+      channel_slots.resize(static_cast<size_t>(slot) + 1, kInvalidNode);
+    }
+  }
+  num_slots_ = std::max(num_slots_, slot + 1);
+  NodeId& cell = grid_[static_cast<size_t>(channel)][static_cast<size_t>(slot)];
+  if (cell != kInvalidNode) {
+    return FailedPreconditionError("bucket C" + std::to_string(channel + 1) +
+                                   "[" + std::to_string(slot + 1) +
+                                   "] already occupied");
+  }
+  cell = node;
+  placement_[static_cast<size_t>(node)] = {channel, slot};
+  return Status::Ok();
+}
+
+NodeId BroadcastSchedule::at(int channel, int slot) const {
+  BCAST_CHECK_GE(channel, 0);
+  BCAST_CHECK_LT(channel, num_channels_);
+  if (slot < 0 || slot >= num_slots_) return kInvalidNode;
+  return grid_[static_cast<size_t>(channel)][static_cast<size_t>(slot)];
+}
+
+SlotRef BroadcastSchedule::placement(NodeId node) const {
+  BCAST_CHECK_GE(node, 0);
+  BCAST_CHECK_LT(node, static_cast<NodeId>(placement_.size()));
+  return placement_[static_cast<size_t>(node)];
+}
+
+int BroadcastSchedule::DataWaitOf(NodeId node) const {
+  SlotRef ref = placement(node);
+  BCAST_CHECK(ref.placed()) << "node " << node << " is not placed";
+  return ref.slot + 1;
+}
+
+int BroadcastSchedule::empty_buckets() const {
+  int empty = 0;
+  for (const auto& channel_slots : grid_) {
+    for (size_t s = 0; s < static_cast<size_t>(num_slots_); ++s) {
+      if (s >= channel_slots.size() || channel_slots[s] == kInvalidNode) ++empty;
+    }
+  }
+  return empty;
+}
+
+std::string BroadcastSchedule::ToString(const IndexTree& tree) const {
+  std::ostringstream os;
+  // Column width: widest label (min 1) + padding.
+  size_t width = 1;
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    width = std::max(width, tree.label(id).size());
+  }
+  for (int c = 0; c < num_channels_; ++c) {
+    os << 'C' << (c + 1) << " |";
+    for (int s = 0; s < num_slots_; ++s) {
+      NodeId id = at(c, s);
+      std::string cell = id == kInvalidNode
+                             ? "."
+                             : (tree.label(id).empty() ? std::to_string(id)
+                                                       : tree.label(id));
+      os << ' ' << std::setw(static_cast<int>(width)) << cell;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Status ValidateSchedule(const IndexTree& tree, const BroadcastSchedule& schedule) {
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    SlotRef ref = schedule.placement(id);
+    if (!ref.placed()) {
+      return FailedPreconditionError("node '" + tree.label(id) + "' not placed");
+    }
+    if (schedule.at(ref.channel, ref.slot) != id) {
+      return InternalError("placement map and grid disagree for node '" +
+                           tree.label(id) + "'");
+    }
+    NodeId parent = tree.parent(id);
+    if (parent != kInvalidNode) {
+      SlotRef parent_ref = schedule.placement(parent);
+      if (!parent_ref.placed() || parent_ref.slot >= ref.slot) {
+        return FailedPreconditionError(
+            "child '" + tree.label(id) + "' (slot " + std::to_string(ref.slot + 1) +
+            ") does not follow its parent '" + tree.label(parent) + "' (slot " +
+            std::to_string(parent_ref.slot + 1) + ")");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace bcast

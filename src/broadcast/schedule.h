@@ -1,0 +1,82 @@
+// BroadcastSchedule: the channel × slot grid one broadcast cycle occupies.
+//
+// Following Section 2 of the paper, a broadcast cycle is a grid of buckets:
+// `num_channels` channels, each transmitting one bucket per slot. An
+// allocation is a one-to-one placement of index/data nodes into grid cells
+// (no replication within a cycle). T(d) — the data wait of data node d — is
+// its 1-based slot number, independent of the channel, because a client can
+// listen to any single channel at each slot.
+
+#ifndef BCAST_BROADCAST_SCHEDULE_H_
+#define BCAST_BROADCAST_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// A grid cell: 0-based channel and slot.
+struct SlotRef {
+  int channel = -1;
+  int slot = -1;
+
+  bool placed() const { return slot >= 0; }
+  friend bool operator==(const SlotRef& a, const SlotRef& b) {
+    return a.channel == b.channel && a.slot == b.slot;
+  }
+};
+
+/// One broadcast cycle. Slots grow on demand as nodes are placed.
+class BroadcastSchedule {
+ public:
+  /// `num_nodes` is the id space of the tree being scheduled.
+  BroadcastSchedule(int num_channels, int num_nodes);
+
+  int num_channels() const { return num_channels_; }
+
+  /// Cycle length in slots (= the highest occupied slot + 1).
+  int num_slots() const { return num_slots_; }
+
+  /// Places `node` at (channel, slot). Errors if the cell is occupied, the
+  /// node is already placed, or channel is out of range.
+  Status Place(NodeId node, int channel, int slot);
+
+  /// Node occupying a cell, or kInvalidNode for an empty bucket.
+  NodeId at(int channel, int slot) const;
+
+  /// Where a node was placed; `placed()` is false if it was not.
+  SlotRef placement(NodeId node) const;
+
+  /// 1-based slot number of `node` — the paper's T(d). Checked: must be placed.
+  int DataWaitOf(NodeId node) const;
+
+  /// Total buckets (occupied or not) in the cycle.
+  int capacity() const { return num_channels_ * num_slots_; }
+
+  /// Number of empty buckets — the "waste of channel space" measure from the
+  /// paper's Section 1.1 critique of level-per-channel allocation.
+  int empty_buckets() const;
+
+  /// Grid rendering using tree labels, e.g.
+  ///   C1 | 1  2  A  4  C
+  ///   C2 | .  3  B  E  D
+  std::string ToString(const IndexTree& tree) const;
+
+ private:
+  int num_channels_;
+  int num_slots_ = 0;
+  std::vector<std::vector<NodeId>> grid_;   // [channel][slot]
+  std::vector<SlotRef> placement_;          // by NodeId
+};
+
+/// Checks that `schedule` is a feasible allocation of `tree`: every node
+/// placed exactly once, and every child in a strictly later slot than its
+/// parent (Section 2.2's feasibility condition).
+Status ValidateSchedule(const IndexTree& tree, const BroadcastSchedule& schedule);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_SCHEDULE_H_

@@ -1,0 +1,54 @@
+#include "broadcast/schedule_builder.h"
+
+#include <string>
+
+namespace bcast {
+
+Result<BroadcastSchedule> BuildScheduleFromSlots(
+    const IndexTree& tree, int num_channels,
+    const std::vector<std::vector<NodeId>>& slots) {
+  if (num_channels < 1) return InvalidArgumentError("need at least one channel");
+  BroadcastSchedule schedule(num_channels, tree.num_nodes());
+  for (size_t s = 0; s < slots.size(); ++s) {
+    const std::vector<NodeId>& elements = slots[s];
+    if (static_cast<int>(elements.size()) > num_channels) {
+      return InvalidArgumentError("slot " + std::to_string(s + 1) + " holds " +
+                                  std::to_string(elements.size()) +
+                                  " nodes but only " +
+                                  std::to_string(num_channels) +
+                                  " channels exist");
+    }
+    std::vector<bool> channel_used(static_cast<size_t>(num_channels), false);
+    std::vector<NodeId> deferred;
+    // First pass: root to channel 1; others to their parent's channel when free.
+    for (NodeId node : elements) {
+      NodeId parent = tree.parent(node);
+      int preferred = -1;
+      if (parent == kInvalidNode) {
+        preferred = 0;  // the root element goes into the first channel
+      } else {
+        SlotRef parent_ref = schedule.placement(parent);
+        if (parent_ref.placed()) preferred = parent_ref.channel;
+      }
+      if (preferred >= 0 && !channel_used[static_cast<size_t>(preferred)]) {
+        BCAST_RETURN_IF_ERROR(schedule.Place(node, preferred, static_cast<int>(s)));
+        channel_used[static_cast<size_t>(preferred)] = true;
+      } else {
+        deferred.push_back(node);
+      }
+    }
+    // Second pass: fill the lowest free channels.
+    int next_free = 0;
+    for (NodeId node : deferred) {
+      while (next_free < num_channels && channel_used[static_cast<size_t>(next_free)]) {
+        ++next_free;
+      }
+      BCAST_RETURN_IF_ERROR(schedule.Place(node, next_free, static_cast<int>(s)));
+      channel_used[static_cast<size_t>(next_free)] = true;
+    }
+  }
+  BCAST_RETURN_IF_ERROR(ValidateSchedule(tree, schedule));
+  return schedule;
+}
+
+}  // namespace bcast

@@ -1,0 +1,31 @@
+// Builds a concrete schedule from a slot-by-slot allocation sequence.
+//
+// The searches in src/alloc/ decide *which* nodes share each slot (the
+// compound nodes of the topological tree); this builder assigns them to
+// concrete channels using the paper's rules (end of Section 3.1):
+//   * the root element goes into the first broadcast channel;
+//   * a node goes into the same channel as its parent whenever that channel
+//     is free in its slot (minimizing channel switches during access);
+//   * remaining nodes fill the lowest free channels.
+
+#ifndef BCAST_BROADCAST_SCHEDULE_BUILDER_H_
+#define BCAST_BROADCAST_SCHEDULE_BUILDER_H_
+
+#include <vector>
+
+#include "broadcast/schedule.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// `slots[s]` lists the nodes broadcast at slot s (at most `num_channels`
+/// of them). Errors if a slot overflows the channel count or the resulting
+/// schedule is infeasible.
+Result<BroadcastSchedule> BuildScheduleFromSlots(
+    const IndexTree& tree, int num_channels,
+    const std::vector<std::vector<NodeId>>& slots);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_SCHEDULE_BUILDER_H_

@@ -1,0 +1,114 @@
+#include "core/planner.h"
+
+#include <utility>
+
+#include "alloc/baselines.h"
+#include "broadcast/schedule_builder.h"
+
+namespace bcast {
+
+const char* PlanStrategyName(PlanStrategy strategy) {
+  switch (strategy) {
+    case PlanStrategy::kAuto:
+      return "auto";
+    case PlanStrategy::kOptimal:
+      return "optimal";
+    case PlanStrategy::kSorting:
+      return "sorting";
+    case PlanStrategy::kShrinking:
+      return "shrinking";
+    case PlanStrategy::kLevelAllocation:
+      return "level";
+    case PlanStrategy::kPreorder:
+      return "preorder";
+    case PlanStrategy::kGreedyWeight:
+      return "greedy-weight";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Result<AllocationResult> RunStrategy(const IndexTree& tree,
+                                     const PlannerOptions& options,
+                                     PlanStrategy strategy) {
+  switch (strategy) {
+    case PlanStrategy::kOptimal:
+      return FindOptimalAllocation(tree, options.num_channels, options.optimal);
+    case PlanStrategy::kSorting:
+      return SortingHeuristic(tree, options.num_channels);
+    case PlanStrategy::kShrinking:
+      return ShrinkingHeuristic(tree, options.num_channels, options.shrink);
+    case PlanStrategy::kLevelAllocation:
+      return LevelAllocation(tree, options.num_channels);
+    case PlanStrategy::kPreorder:
+      return PreorderBaseline(tree, options.num_channels);
+    case PlanStrategy::kGreedyWeight:
+      return GreedyWeightBaseline(tree, options.num_channels);
+    case PlanStrategy::kAuto:
+      break;
+  }
+  return InvalidArgumentError("kAuto must be resolved before RunStrategy");
+}
+
+// Exact search is affordable up to roughly this many nodes in interactive
+// settings; beyond it kAuto switches to the heuristics.
+constexpr int kAutoExactLimit = 24;
+
+}  // namespace
+
+Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
+                                    const PlannerOptions& options) {
+  if (!tree.finalized()) {
+    return FailedPreconditionError("index tree must be finalized");
+  }
+  if (options.num_channels < 1) {
+    return InvalidArgumentError("need at least one channel");
+  }
+
+  PlanStrategy strategy = options.strategy;
+  AllocationResult allocation;
+  if (strategy == PlanStrategy::kAuto) {
+    if (options.num_channels >= tree.max_level_width()) {
+      strategy = PlanStrategy::kLevelAllocation;
+      auto result = LevelAllocation(tree, options.num_channels);
+      if (!result.ok()) return result.status();
+      allocation = std::move(result).value();
+    } else if (tree.num_nodes() <= kAutoExactLimit) {
+      strategy = PlanStrategy::kOptimal;
+      auto result =
+          FindOptimalAllocation(tree, options.num_channels, options.optimal);
+      if (!result.ok()) return result.status();
+      allocation = std::move(result).value();
+    } else {
+      // Run both heuristics (each near-linear) and keep the better one.
+      auto sorting = SortingHeuristic(tree, options.num_channels);
+      auto shrinking =
+          ShrinkingHeuristic(tree, options.num_channels, options.shrink);
+      if (!sorting.ok()) return sorting.status();
+      if (!shrinking.ok() ||
+          sorting->average_data_wait <= shrinking->average_data_wait) {
+        strategy = PlanStrategy::kSorting;
+        allocation = std::move(sorting).value();
+      } else {
+        strategy = PlanStrategy::kShrinking;
+        allocation = std::move(shrinking).value();
+      }
+    }
+  } else {
+    auto result = RunStrategy(tree, options, strategy);
+    if (!result.ok()) return result.status();
+    allocation = std::move(result).value();
+  }
+
+  auto schedule =
+      BuildScheduleFromSlots(tree, options.num_channels, allocation.slots);
+  if (!schedule.ok()) return schedule.status();
+
+  BroadcastPlan plan{strategy, std::move(allocation),
+                     std::move(schedule).value(), AccessCosts{}};
+  plan.costs = ComputeAccessCosts(tree, plan.schedule);
+  return plan;
+}
+
+}  // namespace bcast

@@ -1,0 +1,62 @@
+// BroadcastPlanner: the one-call public API of the library.
+//
+// Takes a finalized index tree and a channel count, picks (or is told) an
+// allocation strategy, and returns the slot allocation, the channel-assigned
+// schedule (paper Section 3.1 channel rules), and the full analytic cost
+// breakdown. This is the entry point the examples and most downstream users
+// should prefer; the individual algorithms remain available in src/alloc/.
+
+#ifndef BCAST_CORE_PLANNER_H_
+#define BCAST_CORE_PLANNER_H_
+
+#include <string>
+
+#include "alloc/allocation.h"
+#include "alloc/heuristics.h"
+#include "alloc/optimal.h"
+#include "broadcast/cost.h"
+#include "broadcast/schedule.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+enum class PlanStrategy {
+  /// Level allocation when channels cover the widest level (Corollary 1),
+  /// exact search for small trees, otherwise the better of the two
+  /// heuristics.
+  kAuto,
+  kOptimal,            // exact search (<= 64 nodes)
+  kSorting,            // index-tree sorting heuristic
+  kShrinking,          // index-tree shrinking heuristic
+  kLevelAllocation,    // one level per slot (needs wide channels)
+  kPreorder,           // naive preorder baseline
+  kGreedyWeight,       // index-oblivious greedy baseline
+};
+
+/// Human-readable strategy name ("optimal", "sorting", ...).
+const char* PlanStrategyName(PlanStrategy strategy);
+
+struct PlannerOptions {
+  int num_channels = 1;
+  PlanStrategy strategy = PlanStrategy::kAuto;
+  ShrinkOptions shrink;
+  OptimalOptions optimal;
+};
+
+/// A complete broadcast program: allocation, channel assignment, and costs.
+struct BroadcastPlan {
+  PlanStrategy strategy_used = PlanStrategy::kAuto;
+  AllocationResult allocation;
+  BroadcastSchedule schedule;
+  AccessCosts costs;
+};
+
+/// Plans one broadcast cycle. Errors propagate from the chosen algorithm
+/// (e.g. OPTIMAL on a tree over 64 nodes).
+Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
+                                    const PlannerOptions& options);
+
+}  // namespace bcast
+
+#endif  // BCAST_CORE_PLANNER_H_

@@ -1,0 +1,64 @@
+// Monte-Carlo mobile-client simulator.
+//
+// Replays the access protocol of Section 2.1 against a materialized broadcast
+// cycle: a client poses a query at a uniformly random time, listens on the
+// first channel for the pointer to the next cycle start (probe wait), then
+// follows (channel, offset) index pointers — dozing in between — until the
+// requested data bucket arrives (data wait). The simulator is the
+// end-to-end check that the analytic cost model and the pointer
+// materialization agree: the empirical mean data wait converges to formula
+// (1), and the empirical tuning time to the weighted path length.
+
+#ifndef BCAST_SIM_CLIENT_SIM_H_
+#define BCAST_SIM_CLIENT_SIM_H_
+
+#include <cstdint>
+
+#include "broadcast/pointers.h"
+#include "broadcast/schedule.h"
+#include "tree/index_tree.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "workload/query_sampler.h"
+
+namespace bcast {
+
+struct SimOptions {
+  uint64_t num_queries = 100'000;
+};
+
+/// Aggregates over simulated queries. Waits are in buckets (slot times).
+struct SimReport {
+  uint64_t num_queries = 0;
+  double mean_probe_wait = 0.0;   // time to the next cycle start (~ cycle/2)
+  double mean_data_wait = 0.0;    // cycle start -> data bucket downloaded
+  double mean_access_time = 0.0;  // probe + data wait
+  double mean_tuning_time = 0.0;  // buckets actively listened to
+  double mean_switches = 0.0;     // channel hops along the pointer path
+  /// Fraction of the access time spent listening (1 - doze ratio).
+  double listen_fraction = 0.0;
+};
+
+/// Simulates clients against one (tree, schedule) broadcast program.
+class ClientSimulator {
+ public:
+  /// Errors if the schedule is infeasible for the tree.
+  static Result<ClientSimulator> Create(const IndexTree& tree,
+                                        const BroadcastSchedule& schedule);
+
+  /// Runs `options.num_queries` independent client accesses.
+  SimReport Run(Rng* rng, const SimOptions& options) const;
+
+ private:
+  ClientSimulator(const IndexTree& tree, const BroadcastSchedule& schedule,
+                  PointerTable pointers);
+
+  const IndexTree& tree_;
+  const BroadcastSchedule& schedule_;
+  PointerTable pointers_;
+  QuerySampler sampler_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_SIM_CLIENT_SIM_H_

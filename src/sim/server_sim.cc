@@ -1,0 +1,124 @@
+#include "sim/server_sim.h"
+
+#include <string>
+#include <utility>
+
+#include "tree/alphabetic.h"
+#include "util/check.h"
+#include "workload/frequency.h"
+
+namespace bcast {
+
+namespace {
+
+// Builds the catalog index from per-item weights (items keep key order; the
+// i-th data leaf is item i).
+Result<IndexTree> BuildCatalogIndex(const std::vector<double>& weights,
+                                    int fanout) {
+  std::vector<DataItem> items;
+  items.reserve(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    items.push_back({"item" + std::to_string(i), weights[i]});
+  }
+  return BuildGreedyAlphabeticTree(items, fanout);
+}
+
+// Expected data wait of `plan` when queries follow `true_weights`.
+double ExpectedWaitUnder(const IndexTree& tree, const BroadcastSchedule& schedule,
+                         const std::vector<double>& true_weights) {
+  std::vector<NodeId> data = tree.DataNodes();
+  BCAST_CHECK_EQ(data.size(), true_weights.size());
+  double weighted = 0.0, total = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    weighted += true_weights[i] * static_cast<double>(schedule.DataWaitOf(data[i]));
+    total += true_weights[i];
+  }
+  BCAST_CHECK_GT(total, 0.0);
+  return weighted / total;
+}
+
+}  // namespace
+
+Result<AdaptiveServerReport> RunAdaptiveServer(
+    std::vector<double> initial_true_weights, const DriftFn& drift, Rng* rng,
+    const AdaptiveServerOptions& options) {
+  if (initial_true_weights.empty()) {
+    return InvalidArgumentError("empty catalog");
+  }
+  if (options.num_cycles < 1 || options.queries_per_cycle < 1) {
+    return InvalidArgumentError("need at least one cycle and one query");
+  }
+  const int num_items = static_cast<int>(initial_true_weights.size());
+  std::vector<double> true_weights = std::move(initial_true_weights);
+
+  FrequencyEstimator estimator(num_items, options.estimator_decay);
+
+  PlannerOptions plan_options;
+  plan_options.num_channels = options.num_channels;
+  plan_options.strategy = options.strategy;
+
+  // Initial plan from the (uniform) prior estimates.
+  auto replan = [&](const std::vector<double>& weights)
+      -> Result<std::pair<IndexTree, BroadcastSchedule>> {
+    auto tree = BuildCatalogIndex(weights, options.index_fanout);
+    if (!tree.ok()) return tree.status();
+    auto plan = PlanBroadcast(*tree, plan_options);
+    if (!plan.ok()) return plan.status();
+    return std::make_pair(std::move(tree).value(),
+                          std::move(plan->schedule));
+  };
+
+  auto active = replan(estimator.EstimatedWeights());
+  if (!active.ok()) return active.status();
+  IndexTree active_tree = std::move(active->first);
+  BroadcastSchedule active_schedule = std::move(active->second);
+  std::vector<NodeId> active_data = active_tree.DataNodes();
+
+  AdaptiveServerReport report;
+  for (int cycle = 0; cycle < options.num_cycles; ++cycle) {
+    // Replan from the current estimates when due (never at cycle 0: the
+    // initial plan is already in place).
+    if (options.replan_every > 0 && cycle > 0 &&
+        cycle % options.replan_every == 0) {
+      auto next = replan(estimator.EstimatedWeights());
+      if (!next.ok()) return next.status();
+      active_tree = std::move(next->first);
+      active_schedule = std::move(next->second);
+      active_data = active_tree.DataNodes();
+    }
+
+    // Serve this cycle's queries from the TRUE distribution.
+    double realized = 0.0;
+    for (int q = 0; q < options.queries_per_cycle; ++q) {
+      int item = static_cast<int>(rng->WeightedIndex(true_weights));
+      realized += static_cast<double>(
+          active_schedule.DataWaitOf(active_data[static_cast<size_t>(item)]));
+      estimator.Observe(item);
+    }
+    realized /= options.queries_per_cycle;
+
+    // Oracle: replan from the true weights.
+    auto oracle = replan(true_weights);
+    if (!oracle.ok()) return oracle.status();
+    double oracle_wait =
+        ExpectedWaitUnder(oracle->first, oracle->second, true_weights);
+
+    CycleStats stats;
+    stats.cycle = cycle;
+    stats.realized_data_wait = realized;
+    stats.oracle_data_wait = oracle_wait;
+    stats.estimation_error =
+        NormalizedEstimationError(estimator.EstimatedWeights(), true_weights);
+    report.cycles.push_back(stats);
+    report.mean_realized += realized;
+    report.mean_oracle += oracle_wait;
+
+    estimator.EndEpoch();
+    if (drift) drift(cycle, &true_weights);
+  }
+  report.mean_realized /= options.num_cycles;
+  report.mean_oracle /= options.num_cycles;
+  return report;
+}
+
+}  // namespace bcast

@@ -1,0 +1,361 @@
+#include "tree/alphabetic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace bcast {
+
+namespace {
+
+// Intermediate n-ary merge-tree node used by all three constructions before
+// conversion into an IndexTree.
+struct MergeNode {
+  bool is_leaf = false;
+  size_t item = 0;                // index into `items` when is_leaf
+  std::vector<int> children;      // indices into the MergeNode arena
+};
+
+// Recursively copies a MergeNode arena into an IndexTree under `parent`.
+void EmitMergeTree(const std::vector<MergeNode>& arena,
+                   const std::vector<DataItem>& items, int node, IndexTree* tree,
+                   NodeId parent, int* next_index_label) {
+  const MergeNode& mn = arena[static_cast<size_t>(node)];
+  if (mn.is_leaf) {
+    tree->AddDataNode(parent, items[mn.item].weight, items[mn.item].label);
+    return;
+  }
+  NodeId id = tree->AddIndexNode(parent, "i" + std::to_string((*next_index_label)++));
+  for (int child : mn.children) {
+    EmitMergeTree(arena, items, child, tree, id, next_index_label);
+  }
+}
+
+Result<IndexTree> FinishFromMergeTree(const std::vector<MergeNode>& arena,
+                                      const std::vector<DataItem>& items,
+                                      int root) {
+  IndexTree tree;
+  int next_index_label = 1;
+  const MergeNode& root_node = arena[static_cast<size_t>(root)];
+  if (root_node.is_leaf) {
+    // Single data item: wrap it under an index root so clients still have a
+    // root bucket to probe for.
+    NodeId id = tree.AddIndexNode(kInvalidNode, "i1");
+    tree.AddDataNode(id, items[root_node.item].weight, items[root_node.item].label);
+  } else {
+    NodeId id = tree.AddIndexNode(kInvalidNode, "i" + std::to_string(next_index_label++));
+    for (int child : root_node.children) {
+      EmitMergeTree(arena, items, child, &tree, id, &next_index_label);
+    }
+  }
+  Status status = tree.Finalize();
+  if (!status.ok()) return status;
+  return tree;
+}
+
+Status ValidateItems(const std::vector<DataItem>& items) {
+  if (items.empty()) return InvalidArgumentError("no data items");
+  for (const DataItem& item : items) {
+    if (item.weight < 0.0) {
+      return InvalidArgumentError("negative weight for item '" + item.label + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hu–Tucker (optimal binary alphabetic tree)
+// ---------------------------------------------------------------------------
+
+Result<IndexTree> BuildHuTuckerTree(const std::vector<DataItem>& items) {
+  BCAST_RETURN_IF_ERROR(ValidateItems(items));
+  size_t n = items.size();
+
+  // Combination-phase arena: leaves 0..n-1, then internal nodes.
+  struct CombNode {
+    double weight;
+    int left = -1, right = -1;  // -1 for leaves
+  };
+  std::vector<CombNode> comb;
+  comb.reserve(2 * n);
+  for (const DataItem& item : items) comb.push_back({item.weight, -1, -1});
+
+  // Work sequence entries reference comb indices; externals are original
+  // leaves not yet combined.
+  struct SeqEntry {
+    int comb_index;
+    bool is_external;
+  };
+  std::vector<SeqEntry> seq;
+  seq.reserve(n);
+  for (size_t i = 0; i < n; ++i) seq.push_back({static_cast<int>(i), true});
+
+  // Phase 1: n-1 combinations. A pair (i, j), i < j, is *compatible* iff no
+  // external entry lies strictly between them. Ties: minimal weight sum, then
+  // smallest i, then smallest j ([HT71]'s tie-breaking).
+  while (seq.size() > 1) {
+    size_t best_i = 0, best_j = 1;
+    double best_sum = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      double wi = comb[static_cast<size_t>(seq[i].comb_index)].weight;
+      for (size_t j = i + 1; j < seq.size(); ++j) {
+        double sum = wi + comb[static_cast<size_t>(seq[j].comb_index)].weight;
+        if (sum < best_sum) {
+          best_sum = sum;
+          best_i = i;
+          best_j = j;
+        }
+        if (seq[j].is_external) break;  // Later js are blocked by this external.
+      }
+    }
+    comb.push_back({best_sum, seq[best_i].comb_index, seq[best_j].comb_index});
+    seq[best_i] = {static_cast<int>(comb.size()) - 1, false};
+    seq.erase(seq.begin() + static_cast<std::ptrdiff_t>(best_j));
+  }
+
+  // Phase 2: leaf levels from the combination tree.
+  std::vector<int> leaf_level(n, 0);
+  if (n > 1) {
+    struct Frame {
+      int node, depth;
+    };
+    std::vector<Frame> stack = {{seq[0].comb_index, 0}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      const CombNode& cn = comb[static_cast<size_t>(f.node)];
+      if (cn.left == -1) {
+        leaf_level[static_cast<size_t>(f.node)] = f.depth;
+      } else {
+        stack.push_back({cn.left, f.depth + 1});
+        stack.push_back({cn.right, f.depth + 1});
+      }
+    }
+  }
+
+  // Phase 3: rebuild an *alphabetic* tree realizing those leaf levels with
+  // the classical stack construction.
+  std::vector<MergeNode> arena;
+  struct StackEntry {
+    int node;
+    int level;
+  };
+  std::vector<StackEntry> stack;
+  for (size_t i = 0; i < n; ++i) {
+    arena.push_back({/*is_leaf=*/true, i, {}});
+    stack.push_back({static_cast<int>(arena.size()) - 1, leaf_level[i]});
+    while (stack.size() >= 2 &&
+           stack[stack.size() - 1].level == stack[stack.size() - 2].level) {
+      StackEntry right = stack.back();
+      stack.pop_back();
+      StackEntry left = stack.back();
+      stack.pop_back();
+      arena.push_back({/*is_leaf=*/false, 0, {left.node, right.node}});
+      stack.push_back({static_cast<int>(arena.size()) - 1, left.level - 1});
+    }
+  }
+  BCAST_CHECK_EQ(stack.size(), size_t{1}) << "Hu-Tucker reconstruction failed";
+  BCAST_CHECK_EQ(stack[0].level, 0);
+  return FinishFromMergeTree(arena, items, stack[0].node);
+}
+
+// ---------------------------------------------------------------------------
+// Exact k-ary alphabetic tree (interval DP)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// DP state shared by the cost pass and the reconstruction pass.
+class KaryDp {
+ public:
+  KaryDp(const std::vector<DataItem>& items, int fanout)
+      : items_(items), n_(items.size()), k_(static_cast<size_t>(fanout)) {
+    prefix_.resize(n_ + 1, 0.0);
+    for (size_t i = 0; i < n_; ++i) prefix_[i + 1] = prefix_[i] + items[i].weight;
+    best_.assign(n_ * n_, kUnset);
+    chain_.assign(n_ * n_ * (k_ + 1), kUnset);
+    chain_arg_.assign(n_ * n_ * (k_ + 1), -1);
+  }
+
+  // Optimal Σ w·depth for the subtree over items [i..j], rooted at an index
+  // node (requires j > i; a single item is used directly as a child).
+  double Best(size_t i, size_t j) {
+    BCAST_CHECK_LT(i, j);
+    double& memo = best_[i * n_ + j];
+    if (memo != kUnset) return memo;
+    double split = std::numeric_limits<double>::infinity();
+    size_t max_parts = std::min(k_, j - i + 1);
+    for (size_t t = 2; t <= max_parts; ++t) {
+      split = std::min(split, Chain(i, j, t));
+    }
+    memo = (prefix_[j + 1] - prefix_[i]) + split;
+    return memo;
+  }
+
+  // Builds the subtree over [i..j] under `parent`.
+  void Emit(size_t i, size_t j, IndexTree* tree, NodeId parent,
+            int* next_index_label) {
+    if (i == j) {
+      tree->AddDataNode(parent, items_[i].weight, items_[i].label);
+      return;
+    }
+    Best(i, j);  // Ensure memos are populated.
+    size_t max_parts = std::min(k_, j - i + 1);
+    size_t best_t = 2;
+    double best_cost = Chain(i, j, 2);
+    for (size_t t = 3; t <= max_parts; ++t) {
+      double c = Chain(i, j, t);
+      if (c < best_cost) {
+        best_cost = c;
+        best_t = t;
+      }
+    }
+    NodeId id = tree->AddIndexNode(parent, "i" + std::to_string((*next_index_label)++));
+    EmitChain(i, j, best_t, tree, id, next_index_label);
+  }
+
+ private:
+  static constexpr double kUnset = -1.0;
+
+  double ChildCost(size_t i, size_t j) { return i == j ? 0.0 : Best(i, j); }
+
+  // Minimum total child cost of splitting [i..j] into exactly t parts.
+  double Chain(size_t i, size_t j, size_t t) {
+    BCAST_CHECK_LE(t, j - i + 1);
+    if (t == 1) return ChildCost(i, j);
+    double& memo = chain_[(i * n_ + j) * (k_ + 1) + t];
+    if (memo != kUnset) return memo;
+    double best = std::numeric_limits<double>::infinity();
+    int best_m = -1;
+    // First part is [i..m]; remaining t-1 parts need j - m >= t - 1 items.
+    for (size_t m = i; m + (t - 1) <= j; ++m) {
+      double c = ChildCost(i, m) + Chain(m + 1, j, t - 1);
+      if (c < best) {
+        best = c;
+        best_m = static_cast<int>(m);
+      }
+    }
+    memo = best;
+    chain_arg_[(i * n_ + j) * (k_ + 1) + t] = best_m;
+    return memo;
+  }
+
+  void EmitChain(size_t i, size_t j, size_t t, IndexTree* tree, NodeId parent,
+                 int* next_index_label) {
+    if (t == 1) {
+      Emit(i, j, tree, parent, next_index_label);
+      return;
+    }
+    int m = chain_arg_[(i * n_ + j) * (k_ + 1) + t];
+    BCAST_CHECK_GE(m, 0);
+    Emit(i, static_cast<size_t>(m), tree, parent, next_index_label);
+    EmitChain(static_cast<size_t>(m) + 1, j, t - 1, tree, parent, next_index_label);
+  }
+
+  const std::vector<DataItem>& items_;
+  size_t n_;
+  size_t k_;
+  std::vector<double> prefix_;
+  std::vector<double> best_;
+  std::vector<double> chain_;
+  std::vector<int> chain_arg_;
+};
+
+}  // namespace
+
+Result<IndexTree> BuildOptimalAlphabeticTree(const std::vector<DataItem>& items,
+                                             int fanout) {
+  BCAST_RETURN_IF_ERROR(ValidateItems(items));
+  if (fanout < 2) return InvalidArgumentError("fanout must be >= 2");
+  size_t n = items.size();
+  if (n > 400) {
+    return InvalidArgumentError(
+        "BuildOptimalAlphabeticTree is O(n^3 k); use BuildGreedyAlphabeticTree "
+        "for catalogs over 400 items");
+  }
+
+  IndexTree tree;
+  int next_index_label = 1;
+  if (n == 1) {
+    NodeId id = tree.AddIndexNode(kInvalidNode, "i1");
+    tree.AddDataNode(id, items[0].weight, items[0].label);
+  } else {
+    KaryDp dp(items, fanout);
+    dp.Emit(0, n - 1, &tree, kInvalidNode, &next_index_label);
+  }
+  Status status = tree.Finalize();
+  if (!status.ok()) return status;
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Greedy k-ary alphabetic merge
+// ---------------------------------------------------------------------------
+
+Result<IndexTree> BuildGreedyAlphabeticTree(const std::vector<DataItem>& items,
+                                            int fanout) {
+  BCAST_RETURN_IF_ERROR(ValidateItems(items));
+  if (fanout < 2) return InvalidArgumentError("fanout must be >= 2");
+  size_t n = items.size();
+  size_t k = static_cast<size_t>(fanout);
+
+  std::vector<MergeNode> arena;
+  arena.reserve(2 * n);
+  struct Entry {
+    int node;
+    double weight;
+  };
+  std::vector<Entry> seq;
+  seq.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    arena.push_back({/*is_leaf=*/true, i, {}});
+    seq.push_back({static_cast<int>(i), items[i].weight});
+  }
+
+  while (seq.size() > 1) {
+    // Window size: k, except a first smaller merge so that subsequent k-way
+    // merges land exactly on one root (k-ary Huffman padding, applied to the
+    // lightest small window instead of dummy symbols).
+    size_t window = std::min(k, seq.size());
+    if (seq.size() > k) {
+      size_t rem = (seq.size() - 1) % (k - 1);
+      if (rem != 0) window = rem + 1;
+    }
+    size_t best_pos = 0;
+    double best_sum = std::numeric_limits<double>::infinity();
+    double rolling = 0.0;
+    for (size_t i = 0; i < window; ++i) rolling += seq[i].weight;
+    best_sum = rolling;
+    for (size_t i = 1; i + window <= seq.size(); ++i) {
+      rolling += seq[i + window - 1].weight - seq[i - 1].weight;
+      if (rolling < best_sum) {
+        best_sum = rolling;
+        best_pos = i;
+      }
+    }
+    MergeNode merged;
+    merged.is_leaf = false;
+    for (size_t i = 0; i < window; ++i) {
+      merged.children.push_back(seq[best_pos + i].node);
+    }
+    arena.push_back(std::move(merged));
+    seq[best_pos] = {static_cast<int>(arena.size()) - 1, best_sum};
+    seq.erase(seq.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1,
+              seq.begin() + static_cast<std::ptrdiff_t>(best_pos + window));
+  }
+
+  return FinishFromMergeTree(arena, items, seq[0].node);
+}
+
+double WeightedPathLength(const IndexTree& tree) {
+  double total = 0.0;
+  for (NodeId d : tree.DataNodes()) {
+    total += tree.weight(d) * static_cast<double>(tree.node(d).level - 1);
+  }
+  return total;
+}
+
+}  // namespace bcast

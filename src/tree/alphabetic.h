@@ -1,0 +1,61 @@
+// Alphabetic (order-preserving) index-tree construction.
+//
+// The paper adopts the k-nary *alphabetic* search tree of [SV96] (which
+// extends the Hu–Tucker alphabetic Huffman tree of [HT71]) as its index
+// structure: unlike a plain Huffman tree, an alphabetic tree keeps the data
+// items in key order, so a client can navigate by key comparisons. This
+// module provides three constructions:
+//
+//  * HuTucker          — the classical optimal binary alphabetic tree
+//                        (O(n^2) combination phase as in [HT71]);
+//  * OptimalAlphabetic — exact k-ary alphabetic tree by interval dynamic
+//                        programming (O(n^3 k); use for n up to a few
+//                        hundred). For k == 2 it matches HuTucker's cost,
+//                        which the test suite exploits as a cross-check;
+//  * GreedyAlphabetic  — scalable k-ary bottom-up merge (Huffman-style but
+//                        restricted to adjacent runs), for large catalogs.
+//
+// All three take the ordered data items (weight + label) and return an
+// IndexTree whose leaves appear in the given order.
+
+#ifndef BCAST_TREE_ALPHABETIC_H_
+#define BCAST_TREE_ALPHABETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// An ordered broadcast data item.
+struct DataItem {
+  std::string label;
+  double weight = 0.0;
+};
+
+/// Optimal binary alphabetic tree (Hu–Tucker). Requires >= 1 item.
+Result<IndexTree> BuildHuTuckerTree(const std::vector<DataItem>& items);
+
+/// Exact optimal k-ary alphabetic tree by dynamic programming. Minimizes
+/// sum_d W(d) * level(d) over all order-preserving trees whose index nodes
+/// have between 2 and `fanout` children (a subtree with one leaf is the leaf
+/// itself). Requires fanout >= 2; intended for n <= ~300.
+Result<IndexTree> BuildOptimalAlphabeticTree(const std::vector<DataItem>& items,
+                                             int fanout);
+
+/// Greedy k-ary alphabetic merge: repeatedly replaces the lightest window of
+/// adjacent subtrees with a new index node. Near-optimal in practice and
+/// O(n^2) worst case; use for large catalogs.
+Result<IndexTree> BuildGreedyAlphabeticTree(const std::vector<DataItem>& items,
+                                            int fanout);
+
+/// Weighted external path length sum_d W(d) * (level(d) - 1): the expected
+/// number of index probes a client performs, i.e. the tuning-time objective
+/// the alphabetic constructions minimize.
+double WeightedPathLength(const IndexTree& tree);
+
+}  // namespace bcast
+
+#endif  // BCAST_TREE_ALPHABETIC_H_

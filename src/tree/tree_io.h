@@ -1,0 +1,32 @@
+// Text (de)serialization of index trees.
+//
+// Grammar (whitespace-separated s-expressions):
+//   tree  := node
+//   node  := LABEL ':' WEIGHT          -- data leaf, e.g.  A:20
+//          | '(' LABEL node+ ')'       -- index node, e.g. (2 A:20 B:10)
+//
+// The paper's Fig. 1 tree is:  (1 (2 A:20 B:10) (3 (4 C:15 D:7) E:18))
+//
+// Round-trips exactly: ParseTree(FormatTree(t)) reproduces t's shape, labels
+// and weights.
+
+#ifndef BCAST_TREE_TREE_IO_H_
+#define BCAST_TREE_TREE_IO_H_
+
+#include <string>
+
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// Serializes a finalized tree to the one-line s-expression format above.
+std::string FormatTree(const IndexTree& tree);
+
+/// Parses the s-expression format; returns a finalized tree or a descriptive
+/// INVALID_ARGUMENT error (position and reason).
+Result<IndexTree> ParseTree(const std::string& text);
+
+}  // namespace bcast
+
+#endif  // BCAST_TREE_TREE_IO_H_

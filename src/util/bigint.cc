@@ -1,0 +1,254 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bcast {
+
+namespace {
+constexpr uint64_t kLimbBase = 1ull << 32;
+}  // namespace
+
+BigUint::BigUint(uint64_t value) {
+  while (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value & 0xFFFFFFFFu));
+    value >>= 32;
+  }
+}
+
+void BigUint::TrimZeros() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::FromDecimal(const std::string& digits) {
+  BCAST_CHECK(!digits.empty()) << "empty decimal string";
+  BigUint out;
+  for (char c : digits) {
+    BCAST_CHECK(c >= '0' && c <= '9') << "non-digit in decimal string: " << digits;
+    out.MulU64(10).AddU64(static_cast<uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+BigUint BigUint::Factorial(uint64_t n) {
+  BigUint out(1);
+  for (uint64_t i = 2; i <= n; ++i) out.MulU64(i);
+  return out;
+}
+
+BigUint BigUint::Multinomial(uint64_t n_groups, uint64_t group_size) {
+  // (n*m)! / (m!)^n computed with interleaved division so intermediate values
+  // stay as small as possible: product over groups g of C(g*m, m) * (m-1)!…
+  // Simpler and still exact: numerator factorial, then n exact divisions.
+  BigUint numerator = Factorial(n_groups * group_size);
+  BigUint group_fact = Factorial(group_size);
+  for (uint64_t g = 0; g < n_groups; ++g) {
+    numerator = numerator.DivExact(group_fact);
+  }
+  return numerator;
+}
+
+BigUint& BigUint::AddU64(uint64_t value) {
+  uint64_t carry = value;
+  for (size_t i = 0; i < limbs_.size() && carry != 0; ++i) {
+    uint64_t sum = static_cast<uint64_t>(limbs_[i]) + (carry & 0xFFFFFFFFu);
+    limbs_[i] = static_cast<uint32_t>(sum & 0xFFFFFFFFu);
+    carry = (carry >> 32) + (sum >> 32);
+  }
+  while (carry != 0) {
+    limbs_.push_back(static_cast<uint32_t>(carry & 0xFFFFFFFFu));
+    carry >>= 32;
+  }
+  return *this;
+}
+
+BigUint& BigUint::MulU64(uint64_t value) {
+  if (value == 0 || is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  uint64_t lo = value & 0xFFFFFFFFu;
+  uint64_t hi = value >> 32;
+  if (hi == 0) {
+    uint64_t carry = 0;
+    for (uint32_t& limb : limbs_) {
+      uint64_t prod = static_cast<uint64_t>(limb) * lo + carry;
+      limb = static_cast<uint32_t>(prod & 0xFFFFFFFFu);
+      carry = prod >> 32;
+    }
+    while (carry != 0) {
+      limbs_.push_back(static_cast<uint32_t>(carry & 0xFFFFFFFFu));
+      carry >>= 32;
+    }
+    return *this;
+  }
+  *this = Mul(BigUint(value));
+  return *this;
+}
+
+BigUint& BigUint::DivExactU64(uint64_t value) {
+  BCAST_CHECK_NE(value, uint64_t{0});
+  if (value >> 32 != 0) {
+    *this = DivExact(BigUint(value));
+    return *this;
+  }
+  uint64_t divisor = value;
+  uint64_t remainder = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    uint64_t cur = (remainder << 32) | limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(cur / divisor);
+    remainder = cur % divisor;
+  }
+  BCAST_CHECK_EQ(remainder, uint64_t{0}) << "DivExactU64: not divisible";
+  TrimZeros();
+  return *this;
+}
+
+BigUint BigUint::Add(const BigUint& other) const {
+  BigUint out;
+  size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum & 0xFFFFFFFFu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+BigUint BigUint::Sub(const BigUint& other) const {
+  BCAST_CHECK(Compare(other) >= 0) << "BigUint::Sub underflow";
+  BigUint out;
+  out.limbs_.resize(limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) diff -= static_cast<int64_t>(other.limbs_[i]);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  BCAST_CHECK_EQ(borrow, int64_t{0});
+  out.TrimZeros();
+  return out;
+}
+
+BigUint BigUint::Mul(const BigUint& other) const {
+  if (is_zero() || other.is_zero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t a = limbs_[i];
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(out.limbs_[i + j]) +
+                     a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    size_t pos = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = static_cast<uint64_t>(out.limbs_[pos]) + carry;
+      out.limbs_[pos] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+      ++pos;
+    }
+  }
+  out.TrimZeros();
+  return out;
+}
+
+BigUint BigUint::DivExact(const BigUint& divisor) const {
+  BCAST_CHECK(!divisor.is_zero()) << "division by zero";
+  if (divisor.limbs_.size() == 1) {
+    BigUint out = *this;
+    out.DivExactU64(divisor.limbs_[0]);
+    return out;
+  }
+  // Schoolbook long division (binary shift-subtract). The operands in this
+  // library are at most a few hundred bits, so O(bits * limbs) is fine.
+  BigUint remainder;
+  BigUint quotient;
+  quotient.limbs_.assign(limbs_.size(), 0);
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int bit = 31; bit >= 0; --bit) {
+      // remainder = remainder * 2 + current bit.
+      uint32_t carry = (limbs_[i] >> bit) & 1u;
+      for (uint32_t& limb : remainder.limbs_) {
+        uint32_t new_carry = limb >> 31;
+        limb = (limb << 1) | carry;
+        carry = new_carry;
+      }
+      if (carry != 0) remainder.limbs_.push_back(carry);
+      if (remainder.Compare(divisor) >= 0) {
+        remainder = remainder.Sub(divisor);
+        quotient.limbs_[i] |= (1u << bit);
+      }
+    }
+  }
+  BCAST_CHECK(remainder.is_zero()) << "DivExact: not divisible";
+  quotient.TrimZeros();
+  return quotient;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::string BigUint::ToDecimal() const {
+  if (is_zero()) return "0";
+  BigUint scratch = *this;
+  std::string out;
+  while (!scratch.is_zero()) {
+    // Peel 9 decimal digits at a time.
+    uint64_t remainder = 0;
+    for (size_t i = scratch.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (remainder << 32) | scratch.limbs_[i];
+      scratch.limbs_[i] = static_cast<uint32_t>(cur / 1000000000ull);
+      remainder = cur % 1000000000ull;
+    }
+    scratch.TrimZeros();
+    std::string chunk = std::to_string(remainder);
+    if (!scratch.is_zero()) {
+      chunk = std::string(9 - chunk.size(), '0') + chunk;
+    }
+    out = chunk + out;
+  }
+  return out;
+}
+
+double BigUint::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * static_cast<double>(kLimbBase) + static_cast<double>(limbs_[i]);
+    if (std::isinf(out)) return out;
+  }
+  return out;
+}
+
+uint64_t BigUint::ToU64() const {
+  BCAST_CHECK(FitsU64()) << "BigUint does not fit in uint64";
+  uint64_t out = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = (out << 32) | limbs_[i];
+  }
+  return out;
+}
+
+}  // namespace bcast

@@ -1,0 +1,82 @@
+// Arbitrary-precision unsigned integers.
+//
+// Table 1 of the paper counts feasible broadcast allocations: for a full
+// balanced 6-ary depth-3 index tree the unpruned space is 36! ≈ 3.7e41 and
+// the Property-2 space is 36!/(6!)^6 ≈ 2.7e24 — both beyond uint64 and
+// unsigned __int128. BigUint implements exactly the operations the pruning
+// analysis needs: multiply/divide/add by machine words, big-by-big add and
+// multiply, exact big-by-big division (for multinomials), comparison,
+// decimal conversion and a double approximation for pruning percentages.
+
+#ifndef BCAST_UTIL_BIGINT_H_
+#define BCAST_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bcast {
+
+/// Non-negative arbitrary-precision integer, little-endian base-2^32 limbs.
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// From a machine word.
+  explicit BigUint(uint64_t value);
+
+  /// Parses a decimal string of digits. Check-fails on empty/non-digit input.
+  static BigUint FromDecimal(const std::string& digits);
+
+  /// n! for n >= 0.
+  static BigUint Factorial(uint64_t n);
+
+  /// (nm)! / (m!)^n — the number of interleavings of n groups of m ordered
+  /// items each; the paper's Property-2 path count for a full balanced tree.
+  static BigUint Multinomial(uint64_t n_groups, uint64_t group_size);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  BigUint& AddU64(uint64_t value);
+  BigUint& MulU64(uint64_t value);
+  /// Exact division; check-fails if `value` is zero or does not divide.
+  BigUint& DivExactU64(uint64_t value);
+
+  BigUint Add(const BigUint& other) const;
+  /// Saturating-at-zero subtraction is not needed; Sub check-fails on
+  /// underflow (other > *this).
+  BigUint Sub(const BigUint& other) const;
+  BigUint Mul(const BigUint& other) const;
+  /// Exact big/big division; check-fails unless divisor divides exactly.
+  BigUint DivExact(const BigUint& divisor) const;
+
+  /// -1 / 0 / +1 comparison.
+  int Compare(const BigUint& other) const;
+
+  bool operator==(const BigUint& other) const { return Compare(other) == 0; }
+  bool operator!=(const BigUint& other) const { return Compare(other) != 0; }
+  bool operator<(const BigUint& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigUint& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigUint& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigUint& other) const { return Compare(other) >= 0; }
+
+  /// Decimal string, no leading zeros ("0" for zero).
+  std::string ToDecimal() const;
+
+  /// Nearest double (inf if it overflows double range).
+  double ToDouble() const;
+
+  /// Value as uint64 if it fits; check-fails otherwise.
+  uint64_t ToU64() const;
+  bool FitsU64() const { return limbs_.size() <= 2; }
+
+ private:
+  void TrimZeros();
+
+  std::vector<uint32_t> limbs_;  // little-endian; empty == 0.
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_UTIL_BIGINT_H_

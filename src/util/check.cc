@@ -1,0 +1,13 @@
+#include "util/check.h"
+
+namespace bcast::internal {
+
+void CheckFailed(const char* file, int line, const char* condition,
+                 const std::string& message) {
+  std::fprintf(stderr, "BCAST_CHECK failed at %s:%d: %s %s\n", file, line,
+               condition, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bcast::internal

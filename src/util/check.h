@@ -1,0 +1,73 @@
+// Checked-assertion macros for internal invariants.
+//
+// The library does not use exceptions (Google C++ style). Fallible public
+// operations return bcast::Status / bcast::Result<T> (see status.h); broken
+// internal invariants — which indicate a bug in this library, never bad user
+// input — abort through these macros with a source location and message.
+
+#ifndef BCAST_UTIL_CHECK_H_
+#define BCAST_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bcast::internal {
+
+// Aborts the process after printing `file:line  condition  message`.
+// Out-of-line so the macro expansion stays small at every call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* condition,
+                              const std::string& message);
+
+// Stream-collecting helper: BCAST_CHECK(x) << "detail"; accumulates the
+// detail into a string and aborts in the destructor of the temporary.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace bcast::internal
+
+// Always-on invariant check (enabled in release builds too: the searches in
+// this library are cheap relative to the cost of silently wrong schedules).
+#define BCAST_CHECK(condition)                                       \
+  if (condition) {                                                   \
+  } else                                                             \
+    ::bcast::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define BCAST_CHECK_EQ(a, b) BCAST_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define BCAST_CHECK_NE(a, b) BCAST_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define BCAST_CHECK_LT(a, b) BCAST_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define BCAST_CHECK_LE(a, b) BCAST_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define BCAST_CHECK_GT(a, b) BCAST_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define BCAST_CHECK_GE(a, b) BCAST_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+// Debug-only check for hot loops.
+#ifdef NDEBUG
+#define BCAST_DCHECK(condition) BCAST_CHECK(true)
+#else
+#define BCAST_DCHECK(condition) BCAST_CHECK(condition)
+#endif
+
+#endif  // BCAST_UTIL_CHECK_H_

@@ -1,0 +1,41 @@
+#include "util/combinatorics.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace bcast {
+
+uint64_t BinomialU64(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    uint64_t factor = n - k + i;
+    // result = result * factor / i, keeping intermediates exact.
+    uint64_t g = std::gcd(result, i);
+    uint64_t r = result / g;
+    uint64_t d = i / g;
+    BCAST_CHECK_EQ(factor % d, uint64_t{0});
+    factor /= d;
+    BCAST_CHECK(r == 0 || factor <= UINT64_MAX / r) << "BinomialU64 overflow";
+    result = r * factor;
+  }
+  return result;
+}
+
+BigUint Property2PathCount(uint64_t n_groups, uint64_t group_size) {
+  return BigUint::Multinomial(n_groups, group_size);
+}
+
+BigUint UnprunedPathCount(uint64_t n_groups, uint64_t group_size) {
+  return BigUint::Factorial(n_groups * group_size);
+}
+
+double PruningPercent(const BigUint& paths, const BigUint& unpruned) {
+  BCAST_CHECK(!unpruned.is_zero());
+  double ratio = paths.ToDouble() / unpruned.ToDouble();
+  return 100.0 * (1.0 - ratio);
+}
+
+}  // namespace bcast

@@ -1,0 +1,65 @@
+// Combinatorial helpers used by the topological-tree search and the pruning
+// analysis: k-subset enumeration of candidate sets (Algorithm 1 Step 4 of the
+// paper generates one topological-tree child per k-component subset) and
+// closed-form counts for the evaluation in Section 4.1.
+
+#ifndef BCAST_UTIL_COMBINATORICS_H_
+#define BCAST_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/bigint.h"
+
+namespace bcast {
+
+/// Calls `visit` once for every k-element subset of {items[0..n-1]}, in
+/// lexicographic index order. If k >= items.size() the whole set is visited
+/// once (the paper's Algorithm 1: "if |S| <= k create a node containing all
+/// the vertices in S"). `visit` receives the subset as a vector of items.
+template <typename T>
+void ForEachKSubset(const std::vector<T>& items, size_t k,
+                    const std::function<void(const std::vector<T>&)>& visit) {
+  if (items.empty()) return;
+  if (k >= items.size()) {
+    visit(items);
+    return;
+  }
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<T> subset(k);
+  while (true) {
+    for (size_t i = 0; i < k; ++i) subset[i] = items[idx[i]];
+    visit(subset);
+    // Advance to next combination.
+    size_t i = k;
+    while (i-- > 0) {
+      if (idx[i] != i + items.size() - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+  }
+}
+
+/// C(n, k) as uint64; check-fails on overflow.
+uint64_t BinomialU64(uint64_t n, uint64_t k);
+
+/// Number of feasible single-channel allocations of a full balanced tree with
+/// `n_groups` sibling groups of `group_size` data nodes each, under the
+/// Lemma-3 constraint that same-group data nodes appear in descending weight
+/// order: (n*m)! / (m!)^n  (Section 4.1 of the paper).
+BigUint Property2PathCount(uint64_t n_groups, uint64_t group_size);
+
+/// Total number of data-node permutations without any pruning: (n*m)!.
+BigUint UnprunedPathCount(uint64_t n_groups, uint64_t group_size);
+
+/// The paper's "Pruning %" column: 1 - paths/(m*m)! expressed in percent.
+double PruningPercent(const BigUint& paths, const BigUint& unpruned);
+
+}  // namespace bcast
+
+#endif  // BCAST_UTIL_COMBINATORICS_H_

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for workloads, simulators and
+// property tests. A thin wrapper over std::mt19937_64 with the distribution
+// helpers this library actually needs, so call sites never instantiate
+// std::*_distribution directly (their outputs are not portable across
+// standard-library implementations for some distributions; we implement the
+// ones we need on top of the raw engine to keep experiment outputs
+// reproducible across toolchains).
+
+#ifndef BCAST_UTIL_RNG_H_
+#define BCAST_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bcast {
+
+/// Seedable PRNG with portable distribution helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Raw 64 uniform bits.
+  uint64_t NextU64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Normal via Box–Muller (portable across standard libraries).
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  std::mt19937_64 engine_;
+  // Box–Muller produces values in pairs; cache the spare.
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_UTIL_RNG_H_

@@ -1,0 +1,52 @@
+#include "workload/frequency.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bcast {
+
+FrequencyEstimator::FrequencyEstimator(int num_items, double decay,
+                                       double prior)
+    : decay_(decay) {
+  BCAST_CHECK_GE(num_items, 1);
+  BCAST_CHECK_GT(decay, 0.0);
+  BCAST_CHECK_LE(decay, 1.0);
+  BCAST_CHECK_GE(prior, 0.0);
+  counts_.assign(static_cast<size_t>(num_items), prior);
+}
+
+void FrequencyEstimator::Observe(int item) {
+  BCAST_CHECK_GE(item, 0);
+  BCAST_CHECK_LT(item, num_items());
+  counts_[static_cast<size_t>(item)] += 1.0;
+  ++total_observed_;
+}
+
+void FrequencyEstimator::EndEpoch() {
+  for (double& count : counts_) count *= decay_;
+}
+
+double FrequencyEstimator::EstimatedWeight(int item) const {
+  BCAST_CHECK_GE(item, 0);
+  BCAST_CHECK_LT(item, num_items());
+  return counts_[static_cast<size_t>(item)];
+}
+
+double NormalizedEstimationError(const std::vector<double>& estimated,
+                                 const std::vector<double>& truth) {
+  BCAST_CHECK_EQ(estimated.size(), truth.size());
+  BCAST_CHECK(!truth.empty());
+  double est_total = 0.0, truth_total = 0.0;
+  for (double v : estimated) est_total += v;
+  for (double v : truth) truth_total += v;
+  BCAST_CHECK_GT(est_total, 0.0);
+  BCAST_CHECK_GT(truth_total, 0.0);
+  double error = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    error += std::abs(estimated[i] / est_total - truth[i] / truth_total);
+  }
+  return error / static_cast<double>(truth.size());
+}
+
+}  // namespace bcast

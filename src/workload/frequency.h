@@ -1,0 +1,60 @@
+// On-line access-frequency estimation.
+//
+// The paper's first future-work item is adapting the broadcast when access
+// patterns change; its related-work section (category 1, [DCK97, SRB97])
+// estimates frequencies from observed on-demand requests. This module
+// provides the standard estimator for that loop: exponentially decayed
+// request counts per item, which the adaptive server (sim/server_sim.h)
+// feeds back into the planner every cycle.
+
+#ifndef BCAST_WORKLOAD_FREQUENCY_H_
+#define BCAST_WORKLOAD_FREQUENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bcast {
+
+/// Exponentially decayed per-item request counter.
+class FrequencyEstimator {
+ public:
+  /// `num_items` tracked items; `decay` in (0, 1] is the multiplier applied
+  /// to all counts at each epoch boundary (1 = plain counting). `prior`
+  /// seeds every item so fresh estimators do not return all-zero weights.
+  FrequencyEstimator(int num_items, double decay, double prior = 1.0);
+
+  int num_items() const { return static_cast<int>(counts_.size()); }
+
+  /// Records one request for `item`.
+  void Observe(int item);
+
+  /// Ends an epoch: multiplies every count by the decay factor.
+  void EndEpoch();
+
+  /// Current estimate for one item.
+  double EstimatedWeight(int item) const;
+
+  /// Snapshot of all estimates (usable directly as data-node weights).
+  std::vector<double> EstimatedWeights() const { return counts_; }
+
+  /// Total requests observed (undecayed), for reporting.
+  uint64_t total_observed() const { return total_observed_; }
+
+ private:
+  std::vector<double> counts_;
+  double decay_;
+  uint64_t total_observed_ = 0;
+};
+
+/// Mean relative error between an estimate and the true weights after both
+/// are normalized to probability distributions — the estimator-quality
+/// metric used by the adaptive-server reports. Check-fails on size mismatch
+/// or all-zero inputs.
+double NormalizedEstimationError(const std::vector<double>& estimated,
+                                 const std::vector<double>& truth);
+
+}  // namespace bcast
+
+#endif  // BCAST_WORKLOAD_FREQUENCY_H_

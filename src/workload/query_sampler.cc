@@ -1,0 +1,27 @@
+#include "workload/query_sampler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bcast {
+
+QuerySampler::QuerySampler(const IndexTree& tree) {
+  data_nodes_ = tree.DataNodes();
+  cumulative_.reserve(data_nodes_.size());
+  double acc = 0.0;
+  for (NodeId d : data_nodes_) {
+    acc += tree.weight(d);
+    cumulative_.push_back(acc);
+  }
+  BCAST_CHECK_GT(acc, 0.0) << "QuerySampler needs a positive total weight";
+}
+
+NodeId QuerySampler::Sample(Rng* rng) const {
+  double target = rng->UniformDouble() * cumulative_.back();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  if (it == cumulative_.end()) --it;
+  return data_nodes_[static_cast<size_t>(it - cumulative_.begin())];
+}
+
+}  // namespace bcast

@@ -1,0 +1,34 @@
+// Weighted query sampling: draws the data node a simulated client requests,
+// proportionally to the data nodes' access frequencies (the distribution the
+// average-data-wait objective is taken over).
+
+#ifndef BCAST_WORKLOAD_QUERY_SAMPLER_H_
+#define BCAST_WORKLOAD_QUERY_SAMPLER_H_
+
+#include <vector>
+
+#include "tree/index_tree.h"
+#include "util/rng.h"
+
+namespace bcast {
+
+/// O(log n) per draw via a cumulative-weight table.
+class QuerySampler {
+ public:
+  /// Samples over the data nodes of `tree` with probability W(d)/ΣW.
+  /// Check-fails if the total data weight is zero.
+  explicit QuerySampler(const IndexTree& tree);
+
+  /// Draws one target data node.
+  NodeId Sample(Rng* rng) const;
+
+  const std::vector<NodeId>& data_nodes() const { return data_nodes_; }
+
+ private:
+  std::vector<NodeId> data_nodes_;
+  std::vector<double> cumulative_;  // cumulative_[i] = sum of weights 0..i
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_WORKLOAD_QUERY_SAMPLER_H_

@@ -1,0 +1,49 @@
+#include "workload/weights.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bcast {
+
+std::vector<double> UniformWeights(Rng* rng, int count, double lo, double hi) {
+  BCAST_CHECK_GE(count, 0);
+  BCAST_CHECK_GE(lo, 0.0);
+  BCAST_CHECK_LE(lo, hi);
+  std::vector<double> out(static_cast<size_t>(count));
+  for (double& w : out) w = rng->UniformDouble(lo, hi);
+  return out;
+}
+
+std::vector<double> NormalWeights(Rng* rng, int count, double mean,
+                                  double stddev, double min_weight) {
+  BCAST_CHECK_GE(count, 0);
+  BCAST_CHECK_GE(min_weight, 0.0);
+  std::vector<double> out(static_cast<size_t>(count));
+  for (double& w : out) {
+    w = std::max(min_weight, rng->Normal(mean, stddev));
+  }
+  return out;
+}
+
+std::vector<double> ZipfWeights(int count, double theta, double total) {
+  BCAST_CHECK_GE(count, 1);
+  BCAST_CHECK_GE(theta, 0.0);
+  BCAST_CHECK_GT(total, 0.0);
+  std::vector<double> out(static_cast<size_t>(count));
+  double norm = 0.0;
+  for (int r = 1; r <= count; ++r) {
+    out[static_cast<size_t>(r - 1)] = 1.0 / std::pow(static_cast<double>(r), theta);
+    norm += out[static_cast<size_t>(r - 1)];
+  }
+  for (double& w : out) w *= total / norm;
+  return out;
+}
+
+std::vector<double> EqualWeights(int count, double weight) {
+  BCAST_CHECK_GE(count, 0);
+  BCAST_CHECK_GE(weight, 0.0);
+  return std::vector<double>(static_cast<size_t>(count), weight);
+}
+
+}  // namespace bcast

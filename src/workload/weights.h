@@ -1,0 +1,36 @@
+// Access-frequency (weight) generators for broadcast workloads.
+//
+// The paper's experiments draw data-node weights randomly (Table 1) and from
+// a normal distribution N(µ, σ) (Fig. 14). Zipf is included because skewed
+// popularity is the canonical broadcast-disk workload and is used by the
+// extension benchmarks; equal weights reproduce the [IVB94a] uniform setting
+// discussed in the introduction.
+
+#ifndef BCAST_WORKLOAD_WEIGHTS_H_
+#define BCAST_WORKLOAD_WEIGHTS_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bcast {
+
+/// `count` weights uniform in [lo, hi]. Requires 0 <= lo <= hi.
+std::vector<double> UniformWeights(Rng* rng, int count, double lo, double hi);
+
+/// `count` weights from N(mean, stddev), clamped below at `min_weight`
+/// (weights must be non-negative; with the paper's N(100, σ ≤ 40) the clamp
+/// is almost never active).
+std::vector<double> NormalWeights(Rng* rng, int count, double mean,
+                                  double stddev, double min_weight = 1.0);
+
+/// Zipf popularity: weight of rank-r item proportional to 1/r^theta,
+/// normalized so the weights sum to `total`. theta = 0 gives equal weights.
+std::vector<double> ZipfWeights(int count, double theta, double total = 100.0);
+
+/// `count` copies of `weight`.
+std::vector<double> EqualWeights(int count, double weight);
+
+}  // namespace bcast
+
+#endif  // BCAST_WORKLOAD_WEIGHTS_H_

@@ -1,0 +1,184 @@
+#include "tree/alphabetic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bcast {
+namespace {
+
+std::vector<DataItem> MakeItems(const std::vector<double>& weights) {
+  std::vector<DataItem> items;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    items.push_back({"d" + std::to_string(i + 1), weights[i]});
+  }
+  return items;
+}
+
+// Leaves of `tree` in left-to-right order.
+std::vector<std::string> LeafLabels(const IndexTree& tree) {
+  std::vector<std::string> labels;
+  for (NodeId id : tree.DataNodes()) labels.push_back(tree.label(id));
+  return labels;
+}
+
+void ExpectAlphabetic(const IndexTree& tree, const std::vector<DataItem>& items) {
+  std::vector<std::string> expected;
+  for (const DataItem& item : items) expected.push_back(item.label);
+  EXPECT_EQ(LeafLabels(tree), expected)
+      << "alphabetic construction must preserve the item order";
+}
+
+// --- Hu–Tucker ----------------------------------------------------------------
+
+TEST(HuTuckerTest, SingleItemWrapsUnderIndexRoot) {
+  auto tree = BuildHuTuckerTree(MakeItems({5.0}));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 2);
+  EXPECT_TRUE(tree->is_index(tree->root()));
+}
+
+TEST(HuTuckerTest, EqualWeightsGiveBalancedTree) {
+  auto tree = BuildHuTuckerTree(MakeItems({1, 1, 1, 1}));
+  ASSERT_TRUE(tree.ok());
+  // Perfectly balanced: every leaf at binary depth 2 -> level 3.
+  for (NodeId d : tree->DataNodes()) {
+    EXPECT_EQ(tree->node(d).level, 3);
+  }
+  EXPECT_DOUBLE_EQ(WeightedPathLength(*tree), 8.0);
+}
+
+TEST(HuTuckerTest, SkewedWeightsShortenHeavyPaths) {
+  auto tree = BuildHuTuckerTree(MakeItems({100, 1, 1, 1, 1}));
+  ASSERT_TRUE(tree.ok());
+  ExpectAlphabetic(*tree, MakeItems({100, 1, 1, 1, 1}));
+  NodeId heavy = tree->DataNodes()[0];
+  for (NodeId d : tree->DataNodes()) {
+    EXPECT_LE(tree->node(heavy).level, tree->node(d).level);
+  }
+}
+
+TEST(HuTuckerTest, KnownOptimalCost) {
+  // Weights 1 2 3 4: the optimal alphabetic binary tree is (((1 2) 3) 4)
+  // with cost 1·3 + 2·3 + 3·2 + 4·1 = 19 (the balanced tree costs 20).
+  auto tree = BuildHuTuckerTree(MakeItems({1, 2, 3, 4}));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(WeightedPathLength(*tree), 19.0);
+}
+
+TEST(HuTuckerTest, RejectsEmptyInput) {
+  EXPECT_FALSE(BuildHuTuckerTree({}).ok());
+}
+
+TEST(HuTuckerTest, RejectsNegativeWeights) {
+  EXPECT_FALSE(BuildHuTuckerTree(MakeItems({1, -2})).ok());
+}
+
+// --- exact k-ary DP -----------------------------------------------------------
+
+TEST(OptimalAlphabeticTest, MatchesHuTuckerCostForBinaryFanout) {
+  Rng rng(2024);
+  for (int rep = 0; rep < 25; ++rep) {
+    int n = static_cast<int>(rng.UniformInt(1, 24));
+    std::vector<double> weights;
+    for (int i = 0; i < n; ++i) {
+      weights.push_back(static_cast<double>(rng.UniformInt(1, 100)));
+    }
+    std::vector<DataItem> items = MakeItems(weights);
+    auto hu_tucker = BuildHuTuckerTree(items);
+    auto dp = BuildOptimalAlphabeticTree(items, 2);
+    ASSERT_TRUE(hu_tucker.ok());
+    ASSERT_TRUE(dp.ok());
+    EXPECT_NEAR(WeightedPathLength(*hu_tucker), WeightedPathLength(*dp), 1e-9)
+        << "n = " << n << ", rep = " << rep;
+    ExpectAlphabetic(*dp, items);
+  }
+}
+
+TEST(OptimalAlphabeticTest, WiderFanoutNeverCostsMore) {
+  Rng rng(55);
+  std::vector<double> weights;
+  for (int i = 0; i < 20; ++i) {
+    weights.push_back(static_cast<double>(rng.UniformInt(1, 50)));
+  }
+  std::vector<DataItem> items = MakeItems(weights);
+  double last = -1.0;
+  for (int fanout = 2; fanout <= 6; ++fanout) {
+    auto tree = BuildOptimalAlphabeticTree(items, fanout);
+    ASSERT_TRUE(tree.ok());
+    double cost = WeightedPathLength(*tree);
+    if (last >= 0.0) {
+      EXPECT_LE(cost, last + 1e-9);
+    }
+    last = cost;
+    // Fanout constraint holds.
+    for (NodeId id = 0; id < tree->num_nodes(); ++id) {
+      if (tree->is_index(id)) {
+        EXPECT_LE(static_cast<int>(tree->children(id).size()), fanout);
+      }
+    }
+  }
+}
+
+TEST(OptimalAlphabeticTest, RejectsOversizedInput) {
+  std::vector<DataItem> items = MakeItems(std::vector<double>(401, 1.0));
+  EXPECT_FALSE(BuildOptimalAlphabeticTree(items, 2).ok());
+}
+
+TEST(OptimalAlphabeticTest, RejectsBadFanout) {
+  EXPECT_FALSE(BuildOptimalAlphabeticTree(MakeItems({1, 2}), 1).ok());
+}
+
+// --- greedy merge ---------------------------------------------------------------
+
+TEST(GreedyAlphabeticTest, PreservesOrderAndFanout) {
+  Rng rng(9);
+  std::vector<double> weights;
+  for (int i = 0; i < 100; ++i) {
+    weights.push_back(static_cast<double>(rng.UniformInt(1, 1000)));
+  }
+  std::vector<DataItem> items = MakeItems(weights);
+  for (int fanout = 2; fanout <= 5; ++fanout) {
+    auto tree = BuildGreedyAlphabeticTree(items, fanout);
+    ASSERT_TRUE(tree.ok());
+    ExpectAlphabetic(*tree, items);
+    for (NodeId id = 0; id < tree->num_nodes(); ++id) {
+      if (tree->is_index(id)) {
+        EXPECT_LE(static_cast<int>(tree->children(id).size()), fanout);
+        EXPECT_GE(static_cast<int>(tree->children(id).size()), 2);
+      }
+    }
+  }
+}
+
+TEST(GreedyAlphabeticTest, NearOptimalOnSmallInputs) {
+  Rng rng(31);
+  double worst_ratio = 1.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    int n = static_cast<int>(rng.UniformInt(2, 30));
+    std::vector<double> weights;
+    for (int i = 0; i < n; ++i) {
+      weights.push_back(static_cast<double>(rng.UniformInt(1, 100)));
+    }
+    std::vector<DataItem> items = MakeItems(weights);
+    auto greedy = BuildGreedyAlphabeticTree(items, 3);
+    auto optimal = BuildOptimalAlphabeticTree(items, 3);
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(optimal.ok());
+    double g = WeightedPathLength(*greedy);
+    double o = WeightedPathLength(*optimal);
+    ASSERT_GT(o, 0.0);
+    EXPECT_GE(g, o - 1e-9) << "greedy can never beat the optimum";
+    worst_ratio = std::max(worst_ratio, g / o);
+  }
+  EXPECT_LE(worst_ratio, 1.5) << "greedy should stay within 50% of optimal";
+}
+
+TEST(GreedyAlphabeticTest, HandlesSingleItem) {
+  auto tree = BuildGreedyAlphabeticTree(MakeItems({7.0}), 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 2);
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,117 @@
+#include "alloc/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/optimal.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+
+namespace bcast {
+namespace {
+
+TEST(LevelAllocationTest, OptimalWhenChannelsCoverWidestLevel) {
+  IndexTree tree = MakePaperExampleTree();  // widest level: 4 nodes
+  auto level = LevelAllocation(tree, 4);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level->slots.size(), 4u);  // one slot per level
+  // Every data node waits exactly its level: the analytic floor.
+  double floor = 0.0;
+  for (NodeId d : tree.DataNodes()) {
+    floor += tree.weight(d) * tree.node(d).level;
+  }
+  floor /= tree.total_data_weight();
+  EXPECT_NEAR(level->average_data_wait, floor, 1e-9);
+}
+
+TEST(LevelAllocationTest, RejectsNarrowChannels) {
+  IndexTree tree = MakePaperExampleTree();
+  auto level = LevelAllocation(tree, 3);
+  EXPECT_FALSE(level.ok());
+  EXPECT_EQ(level.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LevelAllocationTest, ChainTreeWastesChannels) {
+  // The Section 1.1 motivation: a chain needs only one channel; allocating
+  // level-per-slot on many channels leaves most buckets empty.
+  IndexTree chain = MakeChainTree(5, 10.0);
+  auto level = LevelAllocation(chain, 3);
+  ASSERT_TRUE(level.ok());  // widest level is 1, so any k works
+  EXPECT_EQ(level->slots.size(), 6u);
+  auto optimal = FindOptimalAllocation(chain, 1);
+  ASSERT_TRUE(optimal.ok());
+  // The chain has a single feasible order; one channel suffices and matches.
+  EXPECT_NEAR(level->average_data_wait, optimal->average_data_wait, 1e-9);
+}
+
+TEST(PreorderBaselineTest, FeasibleAndMatchesPreorderOnOneChannel) {
+  IndexTree tree = MakePaperExampleTree();
+  auto result = PreorderBaseline(tree, 1);
+  ASSERT_TRUE(result.ok());
+  // Preorder: 1 2 A B 3 4 C D E -> data waits A:3 B:4 C:7 D:8 E:9.
+  double expected = (20 * 3 + 10 * 4 + 15 * 7 + 7 * 8 + 18 * 9) / 70.0;
+  EXPECT_NEAR(result->average_data_wait, expected, 1e-9);
+}
+
+TEST(GreedyWeightBaselineTest, FeasibleAndReasonable) {
+  IndexTree tree = MakePaperExampleTree();
+  auto result = GreedyWeightBaseline(tree, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidateSlotSequence(tree, 1, result->slots).ok());
+  // Greedy order: A(20) E(18) C(15) B(10) D(7) with lazy ancestors:
+  // 1 2 A 3 E 4 C B D -> (20·3 + 18·5 + 15·7 + 10·8 + 7·9) / 70.
+  double expected = (20 * 3 + 18 * 5 + 15 * 7 + 10 * 8 + 7 * 9) / 70.0;
+  EXPECT_NEAR(result->average_data_wait, expected, 1e-9);
+}
+
+class BaselineSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(BaselineSweep, AllBaselinesProduceFeasibleSchedules) {
+  auto [seed, channels] = GetParam();
+  Rng rng(seed);
+  IndexTree tree = MakeRandomTree(&rng, 25, 4);
+
+  auto preorder = PreorderBaseline(tree, channels);
+  ASSERT_TRUE(preorder.ok());
+  EXPECT_TRUE(ValidateSlotSequence(tree, channels, preorder->slots).ok());
+
+  auto greedy = GreedyWeightBaseline(tree, channels);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_TRUE(ValidateSlotSequence(tree, channels, greedy->slots).ok());
+
+  Rng shuffle_rng(seed * 31);
+  auto random = RandomFeasibleAllocation(tree, channels, &shuffle_rng);
+  ASSERT_TRUE(random.ok());
+  EXPECT_TRUE(ValidateSlotSequence(tree, channels, random->slots).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineSweep,
+    ::testing::Combine(::testing::Range(uint64_t{300}, uint64_t{310}),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(BaselineSweepTest, OptimalDominatesAllBaselinesOnSmallTrees) {
+  Rng rng(400);
+  for (int rep = 0; rep < 15; ++rep) {
+    IndexTree tree = MakeRandomTree(&rng, 6, 3);
+    if (tree.num_nodes() > 13) continue;
+    for (int channels : {1, 2}) {
+      auto optimal = FindOptimalAllocation(tree, channels);
+      ASSERT_TRUE(optimal.ok());
+      auto preorder = PreorderBaseline(tree, channels);
+      auto greedy = GreedyWeightBaseline(tree, channels);
+      Rng r2(rep * 7 + 1);
+      auto random = RandomFeasibleAllocation(tree, channels, &r2);
+      ASSERT_TRUE(preorder.ok());
+      ASSERT_TRUE(greedy.ok());
+      ASSERT_TRUE(random.ok());
+      EXPECT_LE(optimal->average_data_wait,
+                preorder->average_data_wait + 1e-9);
+      EXPECT_LE(optimal->average_data_wait, greedy->average_data_wait + 1e-9);
+      EXPECT_LE(optimal->average_data_wait, random->average_data_wait + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcast

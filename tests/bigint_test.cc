@@ -1,0 +1,159 @@
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/combinatorics.h"
+
+namespace bcast {
+namespace {
+
+TEST(BigUintTest, ZeroByDefault) {
+  BigUint zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.ToDecimal(), "0");
+  EXPECT_EQ(zero.ToDouble(), 0.0);
+}
+
+TEST(BigUintTest, FromU64RoundTrips) {
+  for (uint64_t v : {uint64_t{1}, uint64_t{42}, uint64_t{0xFFFFFFFFull},
+                     uint64_t{0x100000000ull}, UINT64_MAX}) {
+    BigUint b(v);
+    EXPECT_EQ(b.ToU64(), v);
+    EXPECT_EQ(b.ToDecimal(), std::to_string(v));
+  }
+}
+
+TEST(BigUintTest, FromDecimalParsesLargeNumbers) {
+  BigUint b = BigUint::FromDecimal("340282366920938463463374607431768211456");
+  // 2^128.
+  BigUint two128(1);
+  for (int i = 0; i < 128; ++i) two128.MulU64(2);
+  EXPECT_EQ(b, two128);
+}
+
+TEST(BigUintTest, AddCarriesAcrossLimbs) {
+  BigUint a(UINT64_MAX);
+  BigUint sum = a.Add(BigUint(1));
+  EXPECT_EQ(sum.ToDecimal(), "18446744073709551616");
+}
+
+TEST(BigUintTest, AddU64Accumulates) {
+  BigUint acc;
+  for (int i = 1; i <= 100; ++i) acc.AddU64(static_cast<uint64_t>(i));
+  EXPECT_EQ(acc.ToU64(), uint64_t{5050});
+}
+
+TEST(BigUintTest, SubInverseOfAdd) {
+  BigUint a = BigUint::Factorial(25);
+  BigUint b = BigUint::Factorial(20);
+  EXPECT_EQ(a.Add(b).Sub(b), a);
+}
+
+TEST(BigUintTest, MulMatchesKnownSquare) {
+  BigUint a(1234567890123456789ull);
+  BigUint sq = a.Mul(a);
+  EXPECT_EQ(sq.ToDecimal(), "1524157875323883675019051998750190521");
+}
+
+TEST(BigUintTest, MulByZeroIsZero) {
+  BigUint a(12345);
+  EXPECT_TRUE(a.Mul(BigUint()).is_zero());
+  a.MulU64(0);
+  EXPECT_TRUE(a.is_zero());
+}
+
+TEST(BigUintTest, DivExactU64) {
+  BigUint a = BigUint::Factorial(30);
+  BigUint b = a;
+  b.DivExactU64(30);
+  EXPECT_EQ(b, BigUint::Factorial(29));
+}
+
+TEST(BigUintTest, DivExactBigByBig) {
+  BigUint f36 = BigUint::Factorial(36);
+  BigUint f30 = BigUint::Factorial(30);
+  BigUint quotient = f36.DivExact(f30);
+  // 36!/30! = 31*32*33*34*35*36.
+  uint64_t expected = 31ull * 32 * 33 * 34 * 35 * 36;
+  EXPECT_EQ(quotient.ToU64(), expected);
+}
+
+TEST(BigUintTest, FactorialKnownValues) {
+  EXPECT_EQ(BigUint::Factorial(0).ToU64(), uint64_t{1});
+  EXPECT_EQ(BigUint::Factorial(1).ToU64(), uint64_t{1});
+  EXPECT_EQ(BigUint::Factorial(10).ToU64(), uint64_t{3628800});
+  EXPECT_EQ(BigUint::Factorial(20).ToU64(), uint64_t{2432902008176640000});
+  EXPECT_EQ(BigUint::Factorial(36).ToDecimal(),
+            "371993326789901217467999448150835200000000");
+}
+
+TEST(BigUintTest, CompareOrdersValues) {
+  BigUint small(7);
+  BigUint large = BigUint::Factorial(21);
+  EXPECT_LT(small.Compare(large), 0);
+  EXPECT_GT(large.Compare(small), 0);
+  EXPECT_EQ(small.Compare(BigUint(7)), 0);
+  EXPECT_TRUE(small < large);
+  EXPECT_TRUE(large >= small);
+}
+
+TEST(BigUintTest, ToDoubleApproximatesLargeValues) {
+  BigUint f36 = BigUint::Factorial(36);
+  EXPECT_NEAR(f36.ToDouble(), 3.719933267899012e41, 1e27);
+}
+
+// --- the Table 1 closed forms ------------------------------------------------
+
+TEST(MultinomialTest, MatchesPaperTable1Property2Column) {
+  // (m^2)! / (m!)^m for the full balanced depth-3 m-ary tree.
+  EXPECT_EQ(BigUint::Multinomial(2, 2).ToU64(), uint64_t{6});
+  EXPECT_EQ(BigUint::Multinomial(3, 3).ToU64(), uint64_t{1680});
+  // The paper prints 6306300 for m = 4; the closed form (and every other row)
+  // gives 63063000 — a typographic slip in the paper (see EXPERIMENTS.md).
+  EXPECT_EQ(BigUint::Multinomial(4, 4).ToU64(), uint64_t{63063000});
+  EXPECT_NEAR(BigUint::Multinomial(5, 5).ToDouble(), 6.2336e14, 1e11);
+  EXPECT_NEAR(BigUint::Multinomial(6, 6).ToDouble(), 2.670e24, 1e22);
+}
+
+TEST(CombinatoricsTest, BinomialU64KnownValues) {
+  EXPECT_EQ(BinomialU64(0, 0), uint64_t{1});
+  EXPECT_EQ(BinomialU64(5, 2), uint64_t{10});
+  EXPECT_EQ(BinomialU64(10, 10), uint64_t{1});
+  EXPECT_EQ(BinomialU64(10, 11), uint64_t{0});
+  EXPECT_EQ(BinomialU64(52, 5), uint64_t{2598960});
+}
+
+TEST(CombinatoricsTest, PruningPercentMatchesPaperScale) {
+  // Table 1, m = 2: 6 paths out of 4! = 24 -> 75% pruned.
+  double pct = PruningPercent(BigUint(6), BigUint::Factorial(4));
+  EXPECT_NEAR(pct, 75.0, 1e-9);
+}
+
+TEST(KSubsetTest, EnumeratesAllPairs) {
+  std::vector<int> items = {1, 2, 3, 4};
+  std::vector<std::vector<int>> seen;
+  ForEachKSubset<int>(items, 2, [&](const std::vector<int>& s) { seen.push_back(s); });
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen.front(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(seen.back(), (std::vector<int>{3, 4}));
+}
+
+TEST(KSubsetTest, WholeSetWhenKTooLarge) {
+  std::vector<int> items = {1, 2, 3};
+  int calls = 0;
+  ForEachKSubset<int>(items, 5, [&](const std::vector<int>& s) {
+    ++calls;
+    EXPECT_EQ(s, items);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(KSubsetTest, EmptyInputProducesNothing) {
+  std::vector<int> items;
+  int calls = 0;
+  ForEachKSubset<int>(items, 2, [&](const std::vector<int>&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,128 @@
+#include "tools/bcast_cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace bcast {
+namespace {
+
+constexpr char kExampleTree[] = "(1 (2 A:20 B:10) (3 (4 C:15 D:7) E:18))";
+
+int RunCommand(std::vector<std::string> args, std::string* out) {
+  return RunCli(args, out);
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(RunCommand({}, &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"frobnicate"}, &out), 2);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, PlanPaperExampleOptimal) {
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                  "--strategy", "optimal"},
+                 &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("strategy          : optimal"), std::string::npos);
+  EXPECT_NE(out.find("average data wait : 3.77143"), std::string::npos);
+  EXPECT_NE(out.find("C1 |"), std::string::npos);
+}
+
+TEST(CliTest, PlanWithSimulation) {
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--simulate", "20000"}, &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("simulated 20000 accesses"), std::string::npos);
+}
+
+TEST(CliTest, PlanRejectsBadStrategy) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree, "--strategy", "magic"}, &out),
+            1);
+  EXPECT_NE(out.find("unknown strategy"), std::string::npos);
+}
+
+TEST(CliTest, PlanRejectsBadFlagSyntax) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"plan", "--tree"}, &out), 2);
+  EXPECT_NE(out.find("missing a value"), std::string::npos);
+  EXPECT_EQ(RunCommand({"plan", "tree", "x"}, &out), 2);
+}
+
+TEST(CliTest, PlanRejectsBadChannelCount) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree, "--channels", "zero"}, &out),
+            1);
+  EXPECT_NE(out.find("expects an integer"), std::string::npos);
+}
+
+TEST(CliTest, PlanRejectsMalformedTree) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"plan", "--tree", "(broken"}, &out), 1);
+  EXPECT_NE(out.find("parse error"), std::string::npos);
+}
+
+TEST(CliTest, InfoPrintsTreeStatistics) {
+  std::string out;
+  int code = RunCommand({"info", "--tree", kExampleTree}, &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("nodes             : 9 (4 index, 5 data)"),
+            std::string::npos);
+  EXPECT_NE(out.find("depth             : 4 levels"), std::string::npos);
+  EXPECT_NE(out.find("total data weight : 70"), std::string::npos);
+}
+
+TEST(CliTest, SaveAndEvalRoundTrip) {
+  std::string path = ::testing::TempDir() + "/cli_program.txt";
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                  "--strategy", "optimal", "--save", path},
+                 &out);
+  ASSERT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("saved program to"), std::string::npos);
+
+  std::string eval_out;
+  code = RunCommand({"eval", "--program", path}, &eval_out);
+  EXPECT_EQ(code, 0) << eval_out;
+  EXPECT_NE(eval_out.find("program is feasible"), std::string::npos);
+  EXPECT_NE(eval_out.find("average data wait : 3.77143"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, EvalRejectsMissingFile) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"eval", "--program", "/nonexistent/path.txt"}, &out), 1);
+  EXPECT_NE(out.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, TreeFileInput) {
+  std::string path = ::testing::TempDir() + "/cli_tree.txt";
+  {
+    std::ofstream file(path);
+    file << kExampleTree;
+  }
+  std::string out;
+  EXPECT_EQ(RunCommand({"info", "--tree-file", path}, &out), 0) << out;
+  EXPECT_NE(out.find("nodes             : 9"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, TreeAndTreeFileAreExclusive) {
+  std::string out;
+  EXPECT_EQ(
+      RunCommand({"info", "--tree", kExampleTree, "--tree-file", "x.txt"}, &out), 1);
+  EXPECT_NE(out.find("exactly one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,142 @@
+// Failure injection: take valid schedules/programs, corrupt them in targeted
+// ways, and verify each validator rejects the corruption with a useful
+// message. Guards the guarantee that no infeasible broadcast can flow
+// through the pipeline unnoticed.
+
+#include <gtest/gtest.h>
+
+#include "alloc/optimal.h"
+#include "alloc/replication.h"
+#include "broadcast/program_io.h"
+#include "broadcast/schedule_builder.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+
+namespace bcast {
+namespace {
+
+SlotSequence OptimalSlots(const IndexTree& tree, int channels) {
+  auto result = FindOptimalAllocation(tree, channels);
+  EXPECT_TRUE(result.ok());
+  return result->slots;
+}
+
+TEST(FailureInjectionTest, SlotSequenceSwapBreaksFeasibility) {
+  // Swapping any parent with one of its descendants in the slot order must
+  // be caught by the validator.
+  Rng rng(70'001);
+  for (int rep = 0; rep < 10; ++rep) {
+    IndexTree tree = MakeRandomTree(&rng, 6, 3);
+    SlotSequence slots = OptimalSlots(tree, 1);
+    ASSERT_TRUE(ValidateSlotSequence(tree, 1, slots).ok());
+    // Find a parent/child pair and swap their slots.
+    for (size_t i = 0; i < slots.size(); ++i) {
+      NodeId node = slots[i][0];
+      NodeId parent = tree.parent(node);
+      if (parent == kInvalidNode) continue;
+      for (size_t j = 0; j < i; ++j) {
+        if (slots[j][0] == parent) {
+          std::swap(slots[i][0], slots[j][0]);
+          Status status = ValidateSlotSequence(tree, 1, slots);
+          EXPECT_FALSE(status.ok());
+          EXPECT_NE(status.message().find("not strictly after"),
+                    std::string::npos);
+          std::swap(slots[i][0], slots[j][0]);  // restore
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(FailureInjectionTest, DuplicatedNodeIsRejected) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = OptimalSlots(tree, 1);
+  slots.push_back({slots[2][0]});  // rebroadcast some node
+  Status status = ValidateSlotSequence(tree, 1, slots);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("twice"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, DroppedNodeIsRejected) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = OptimalSlots(tree, 1);
+  slots.pop_back();
+  Status status = ValidateSlotSequence(tree, 1, slots);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unallocated"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, ProgramTextCorruptionsAreLocalized) {
+  IndexTree tree = MakePaperExampleTree();
+  auto schedule = BuildScheduleFromSlots(tree, 2, OptimalSlots(tree, 2));
+  ASSERT_TRUE(schedule.ok());
+  auto text = FormatProgram(tree, *schedule);
+  ASSERT_TRUE(text.ok());
+
+  // Every single-line deletion must be rejected (no silent partial loads).
+  std::vector<std::string> lines;
+  {
+    std::string cur;
+    for (char c : *text) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+  }
+  for (size_t skip = 0; skip < lines.size(); ++skip) {
+    std::string corrupted;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (i != skip) corrupted += lines[i] + "\n";
+    }
+    EXPECT_FALSE(ParseProgram(corrupted).ok())
+        << "deleting line " << skip << " went unnoticed";
+  }
+
+  // Cell-level corruption: replace a data label with an empty bucket.
+  std::string holes = *text;
+  size_t pos = holes.rfind(" D");
+  ASSERT_NE(pos, std::string::npos);
+  holes.replace(pos, 2, " .");
+  EXPECT_FALSE(ParseProgram(holes).ok());
+}
+
+TEST(FailureInjectionTest, ReplicatedProgramCorruptionsAreCaught) {
+  IndexTree tree = MakePaperExampleTree();
+  auto program = BuildReplicatedProgram(tree, OptimalSlots(tree, 2), 2,
+                                        {.root_copies = 2});
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(ValidateReplicatedProgram(tree, *program).ok());
+
+  {
+    ReplicatedProgram corrupt = *program;  // drop a bucket
+    SlotRef ref = corrupt.primary[static_cast<size_t>(tree.num_nodes() - 1)];
+    corrupt.grid[static_cast<size_t>(ref.channel)][static_cast<size_t>(ref.slot)] =
+        kInvalidNode;
+    EXPECT_FALSE(ValidateReplicatedProgram(tree, corrupt).ok());
+  }
+  {
+    ReplicatedProgram corrupt = *program;  // claim an extra root copy
+    corrupt.root_slots.push_back(corrupt.cycle_length - 1);
+    EXPECT_FALSE(ValidateReplicatedProgram(tree, corrupt).ok());
+  }
+  {
+    ReplicatedProgram corrupt = *program;  // replicate a data node
+    NodeId data = tree.DataNodes().front();
+    corrupt.occurrences[static_cast<size_t>(data)].push_back(0);
+    EXPECT_FALSE(ValidateReplicatedProgram(tree, corrupt).ok());
+  }
+}
+
+TEST(FailureInjectionTest, ScheduleBuilderRefusesInfeasibleSlots) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = OptimalSlots(tree, 2);
+  std::swap(slots.front(), slots.back());
+  EXPECT_FALSE(BuildScheduleFromSlots(tree, 2, slots).ok());
+}
+
+}  // namespace
+}  // namespace bcast

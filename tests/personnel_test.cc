@@ -1,0 +1,169 @@
+#include "alloc/personnel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "alloc/data_tree.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+
+namespace bcast {
+namespace {
+
+TEST(PapTest, PaperFig3ExampleIsFeasible) {
+  // Fig. 3: jobs J1..J4 with J1 <= J3, J2 <= J4, J2 <= J3; uniform costs, so
+  // any feasible assignment is optimal — the solver must find one respecting
+  // the order.
+  PersonnelAssignmentProblem problem;
+  problem.num_jobs = 4;
+  problem.precedence = {{0, 2}, {1, 3}, {1, 2}};
+  problem.cost.assign(4, std::vector<double>(4, 1.0));
+  auto solution = SolvePersonnelAssignment(problem);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->total_cost, 4.0);
+  EXPECT_LT(solution->person_of_job[0], solution->person_of_job[2]);
+  EXPECT_LT(solution->person_of_job[1], solution->person_of_job[3]);
+  EXPECT_LT(solution->person_of_job[1], solution->person_of_job[2]);
+}
+
+TEST(PapTest, UnconstrainedIsAssignmentProblem) {
+  // No precedence: with cost[i][j] = w_i·(j+1) the optimum puts heavier jobs
+  // on earlier persons (rearrangement inequality).
+  PersonnelAssignmentProblem problem =
+      PapFromWeightedDag({5.0, 1.0, 3.0}, {});
+  auto solution = SolvePersonnelAssignment(problem);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->person_of_job, (std::vector<int>{0, 2, 1}));
+  EXPECT_DOUBLE_EQ(solution->total_cost, 5.0 * 1 + 3.0 * 2 + 1.0 * 3);
+}
+
+TEST(PapTest, DetectsCyclicPrecedence) {
+  PersonnelAssignmentProblem problem = PapFromWeightedDag({1, 1, 1}, {});
+  problem.precedence = {{0, 1}, {1, 2}, {2, 0}};
+  auto solution = SolvePersonnelAssignment(problem);
+  EXPECT_FALSE(solution.ok());
+  EXPECT_NE(solution.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(PapTest, RejectsMalformedInstances) {
+  PersonnelAssignmentProblem problem;
+  problem.num_jobs = 0;
+  EXPECT_FALSE(SolvePersonnelAssignment(problem).ok());
+
+  problem = PapFromWeightedDag({1, 2}, {});
+  problem.cost.pop_back();
+  EXPECT_FALSE(SolvePersonnelAssignment(problem).ok());
+
+  problem = PapFromWeightedDag({1, 2}, {{0, 5}});
+  EXPECT_FALSE(SolvePersonnelAssignment(problem).ok());
+}
+
+// The paper's Section 2.2 transformation: the PAP optimum over a
+// single-channel broadcast instance equals the data-tree search optimum.
+class PapTransformTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PapTransformTest, MatchesDataTreeOptimum) {
+  Rng rng(GetParam());
+  IndexTree tree = MakeRandomTree(&rng, static_cast<int>(rng.UniformInt(2, 6)),
+                                  3);
+  if (tree.num_nodes() > 11) GTEST_SKIP() << "keep PAP instances small";
+
+  PersonnelAssignmentProblem problem = PapFromIndexTree(tree);
+  auto pap = SolvePersonnelAssignment(problem);
+  ASSERT_TRUE(pap.ok()) << pap.status().ToString();
+
+  auto search = DataTreeSearch::Create(tree, DataTreeOptions{});
+  ASSERT_TRUE(search.ok());
+  auto optimal = search->FindOptimal();
+  ASSERT_TRUE(optimal.ok());
+
+  EXPECT_NEAR(pap->total_cost,
+              optimal->average_data_wait * tree.total_data_weight(), 1e-6)
+      << tree.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PapTransformTest,
+                         ::testing::Range(uint64_t{7000}, uint64_t{7020}));
+
+// Brute-force oracle on tiny random DAG instances.
+TEST(PapTest, MatchesBruteForceOnRandomDags) {
+  Rng rng(4040);
+  for (int rep = 0; rep < 25; ++rep) {
+    int n = static_cast<int>(rng.UniformInt(2, 6));
+    std::vector<double> weights;
+    for (int i = 0; i < n; ++i) {
+      weights.push_back(static_cast<double>(rng.UniformInt(1, 50)));
+    }
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (rng.Bernoulli(0.3)) edges.push_back({a, b});  // forward -> acyclic
+      }
+    }
+    PersonnelAssignmentProblem problem = PapFromWeightedDag(weights, edges);
+    auto solution = SolvePersonnelAssignment(problem);
+    ASSERT_TRUE(solution.ok());
+
+    // Brute force over all permutations (person order -> job).
+    std::vector<int> jobs(static_cast<size_t>(n));
+    std::iota(jobs.begin(), jobs.end(), 0);
+    double best = 1e18;
+    do {
+      // jobs[p] = job assigned to person p.
+      std::vector<int> person_of(static_cast<size_t>(n));
+      for (int p = 0; p < n; ++p) person_of[static_cast<size_t>(jobs[p])] = p;
+      bool feasible = true;
+      for (const auto& [a, b] : edges) {
+        if (person_of[static_cast<size_t>(a)] >=
+            person_of[static_cast<size_t>(b)]) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      double cost = 0.0;
+      for (int p = 0; p < n; ++p) {
+        cost += problem.cost[static_cast<size_t>(jobs[p])][static_cast<size_t>(p)];
+      }
+      best = std::min(best, cost);
+    } while (std::next_permutation(jobs.begin(), jobs.end()));
+
+    EXPECT_NEAR(solution->total_cost, best, 1e-9) << "rep " << rep;
+  }
+}
+
+TEST(PapTest, SolutionIsAlwaysAPermutationRespectingPrecedence) {
+  Rng rng(5151);
+  for (int rep = 0; rep < 10; ++rep) {
+    int n = static_cast<int>(rng.UniformInt(3, 10));
+    std::vector<double> weights;
+    for (int i = 0; i < n; ++i) {
+      weights.push_back(rng.UniformDouble(0.0, 10.0));
+    }
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (rng.Bernoulli(0.25)) edges.push_back({a, b});
+      }
+    }
+    auto solution =
+        SolvePersonnelAssignment(PapFromWeightedDag(weights, edges));
+    ASSERT_TRUE(solution.ok());
+    std::vector<bool> used(static_cast<size_t>(n), false);
+    for (int person : solution->person_of_job) {
+      ASSERT_GE(person, 0);
+      ASSERT_LT(person, n);
+      EXPECT_FALSE(used[static_cast<size_t>(person)]);
+      used[static_cast<size_t>(person)] = true;
+    }
+    for (const auto& [a, b] : edges) {
+      EXPECT_LT(solution->person_of_job[static_cast<size_t>(a)],
+                solution->person_of_job[static_cast<size_t>(b)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,113 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/optimal.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+
+namespace bcast {
+namespace {
+
+TEST(PlannerTest, AutoUsesLevelAllocationForWideChannels) {
+  IndexTree tree = MakePaperExampleTree();
+  PlannerOptions options;
+  options.num_channels = 4;  // >= widest level
+  auto plan = PlanBroadcast(tree, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy_used, PlanStrategy::kLevelAllocation);
+  EXPECT_EQ(plan->allocation.slots.size(), 4u);
+}
+
+TEST(PlannerTest, AutoUsesOptimalForSmallTrees) {
+  IndexTree tree = MakePaperExampleTree();
+  PlannerOptions options;
+  options.num_channels = 2;
+  auto plan = PlanBroadcast(tree, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy_used, PlanStrategy::kOptimal);
+  auto reference = FindOptimalAllocation(tree, 2);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_NEAR(plan->costs.average_data_wait, reference->average_data_wait,
+              1e-9);
+}
+
+TEST(PlannerTest, AutoUsesHeuristicsForLargeTrees) {
+  Rng rng(21);
+  IndexTree tree = MakeRandomTree(&rng, 100, 3);
+  PlannerOptions options;
+  options.num_channels = 2;
+  auto plan = PlanBroadcast(tree, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->strategy_used == PlanStrategy::kSorting ||
+              plan->strategy_used == PlanStrategy::kShrinking);
+  EXPECT_TRUE(ValidateSchedule(tree, plan->schedule).ok());
+}
+
+TEST(PlannerTest, ExplicitStrategiesAreHonored) {
+  Rng rng(22);
+  IndexTree tree = MakeRandomTree(&rng, 10, 3);
+  for (PlanStrategy strategy :
+       {PlanStrategy::kOptimal, PlanStrategy::kSorting,
+        PlanStrategy::kShrinking, PlanStrategy::kPreorder,
+        PlanStrategy::kGreedyWeight}) {
+    PlannerOptions options;
+    options.num_channels = 2;
+    options.strategy = strategy;
+    auto plan = PlanBroadcast(tree, options);
+    ASSERT_TRUE(plan.ok()) << PlanStrategyName(strategy);
+    EXPECT_EQ(plan->strategy_used, strategy);
+    EXPECT_TRUE(ValidateSchedule(tree, plan->schedule).ok());
+    EXPECT_GT(plan->costs.average_data_wait, 0.0);
+  }
+}
+
+TEST(PlannerTest, CostAgreesWithAllocation) {
+  Rng rng(23);
+  IndexTree tree = MakeRandomTree(&rng, 8, 3);
+  PlannerOptions options;
+  options.num_channels = 2;
+  options.strategy = PlanStrategy::kSorting;
+  auto plan = PlanBroadcast(tree, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->allocation.average_data_wait,
+              plan->costs.average_data_wait, 1e-9)
+      << "slot-sequence cost and schedule cost must agree";
+}
+
+TEST(PlannerTest, ErrorsPropagate) {
+  IndexTree tree = MakePaperExampleTree();
+  PlannerOptions options;
+  options.num_channels = 0;
+  EXPECT_FALSE(PlanBroadcast(tree, options).ok());
+
+  options.num_channels = 2;
+  options.strategy = PlanStrategy::kLevelAllocation;  // needs 4 channels
+  EXPECT_FALSE(PlanBroadcast(tree, options).ok());
+
+  IndexTree unfinalized;
+  unfinalized.AddIndexNode(kInvalidNode, "r");
+  options.strategy = PlanStrategy::kAuto;
+  EXPECT_FALSE(PlanBroadcast(unfinalized, options).ok());
+}
+
+TEST(PlannerTest, StrategyNamesAreStable) {
+  EXPECT_STREQ(PlanStrategyName(PlanStrategy::kOptimal), "optimal");
+  EXPECT_STREQ(PlanStrategyName(PlanStrategy::kSorting), "sorting");
+  EXPECT_STREQ(PlanStrategyName(PlanStrategy::kShrinking), "shrinking");
+  EXPECT_STREQ(PlanStrategyName(PlanStrategy::kLevelAllocation), "level");
+}
+
+TEST(PlannerTest, SingleDataNodeTree) {
+  IndexTree tree;
+  tree.AddDataNode(kInvalidNode, 5.0, "only");
+  ASSERT_TRUE(tree.Finalize().ok());
+  PlannerOptions options;
+  options.num_channels = 1;
+  auto plan = PlanBroadcast(tree, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->costs.average_data_wait, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,114 @@
+#include "broadcast/program_io.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/optimal.h"
+#include "broadcast/cost.h"
+#include "broadcast/schedule_builder.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+
+namespace bcast {
+namespace {
+
+BroadcastSchedule MakeOptimalSchedule(const IndexTree& tree, int channels) {
+  auto optimal = FindOptimalAllocation(tree, channels);
+  EXPECT_TRUE(optimal.ok());
+  auto schedule = BuildScheduleFromSlots(tree, channels, optimal->slots);
+  EXPECT_TRUE(schedule.ok());
+  return std::move(schedule).value();
+}
+
+TEST(ProgramIoTest, FormatsPaperExample) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule = MakeOptimalSchedule(tree, 2);
+  auto text = FormatProgram(tree, schedule);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("bcast-program v1"), std::string::npos);
+  EXPECT_NE(text->find("channels 2"), std::string::npos);
+  EXPECT_NE(text->find("tree (1 (2 A:20 B:10)"), std::string::npos);
+  EXPECT_NE(text->find("C1 "), std::string::npos);
+  EXPECT_NE(text->find("C2 "), std::string::npos);
+}
+
+TEST(ProgramIoTest, RoundTripsAcrossChannelsAndTrees) {
+  Rng rng(2222);
+  for (int rep = 0; rep < 10; ++rep) {
+    IndexTree tree = MakeRandomTree(&rng, static_cast<int>(rng.UniformInt(2, 8)),
+                                    3);
+    if (tree.num_nodes() > 14) continue;
+    for (int channels : {1, 2, 3}) {
+      BroadcastSchedule schedule = MakeOptimalSchedule(tree, channels);
+      auto text = FormatProgram(tree, schedule);
+      ASSERT_TRUE(text.ok()) << text.status().ToString();
+      auto program = ParseProgram(*text);
+      ASSERT_TRUE(program.ok()) << program.status().ToString() << "\n" << *text;
+      // Costs are identical after the round trip.
+      EXPECT_NEAR(AverageDataWait(program->tree, program->schedule),
+                  AverageDataWait(tree, schedule), 1e-9);
+      auto second = FormatProgram(program->tree, program->schedule);
+      ASSERT_TRUE(second.ok());
+      EXPECT_EQ(*second, *text);
+    }
+  }
+}
+
+TEST(ProgramIoTest, RejectsBadHeader) {
+  auto program = ParseProgram("not a program\n");
+  EXPECT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("header"), std::string::npos);
+}
+
+TEST(ProgramIoTest, RejectsUnknownLabel) {
+  std::string text =
+      "bcast-program v1\nchannels 1\nslots 3\ntree (r a:1 b:2)\nC1 r a X\n";
+  auto program = ParseProgram(text);
+  EXPECT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("unknown node label"),
+            std::string::npos);
+}
+
+TEST(ProgramIoTest, RejectsInfeasibleGrid) {
+  // Child before parent.
+  std::string text =
+      "bcast-program v1\nchannels 1\nslots 3\ntree (r a:1 b:2)\nC1 a r b\n";
+  auto program = ParseProgram(text);
+  EXPECT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("infeasible"), std::string::npos);
+}
+
+TEST(ProgramIoTest, RejectsDuplicateCell) {
+  std::string text =
+      "bcast-program v1\nchannels 1\nslots 3\ntree (r a:1 b:2)\nC1 r a a\n";
+  EXPECT_FALSE(ParseProgram(text).ok());
+}
+
+TEST(ProgramIoTest, RejectsMissingNodes) {
+  std::string text =
+      "bcast-program v1\nchannels 1\nslots 3\ntree (r a:1 b:2)\nC1 r a .\n";
+  auto program = ParseProgram(text);
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(ProgramIoTest, RejectsRowLengthMismatch) {
+  std::string base =
+      "bcast-program v1\nchannels 1\nslots 2\ntree (r a:1)\n";
+  EXPECT_FALSE(ParseProgram(base + "C1 r\n").ok());
+  EXPECT_FALSE(ParseProgram(base + "C1 r a .\n").ok());
+}
+
+TEST(ProgramIoTest, RejectsDuplicateLabelsOnFormat) {
+  IndexTree tree;
+  NodeId root = tree.AddIndexNode(kInvalidNode, "x");
+  tree.AddDataNode(root, 1.0, "x");  // duplicate label
+  ASSERT_TRUE(tree.Finalize().ok());
+  BroadcastSchedule schedule(1, tree.num_nodes());
+  ASSERT_TRUE(schedule.Place(0, 0, 0).ok());
+  ASSERT_TRUE(schedule.Place(1, 0, 1).ok());
+  auto text = FormatProgram(tree, schedule);
+  EXPECT_FALSE(text.ok());
+  EXPECT_NE(text.status().message().find("duplicate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcast

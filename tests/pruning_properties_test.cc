@@ -1,0 +1,207 @@
+// Cross-cutting property sweeps over random instances: monotonicity of the
+// pruning hierarchy, scale invariances, and structural invariants of every
+// search result. These complement the per-module tests with the invariants
+// the paper's correctness argument rests on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alloc/data_tree.h"
+#include "alloc/optimal.h"
+#include "alloc/topo_search.h"
+#include "broadcast/cost.h"
+#include "tree/builders.h"
+#include "util/bigint.h"
+#include "util/rng.h"
+#include "workload/weights.h"
+
+namespace bcast {
+namespace {
+
+class PruningHierarchyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PruningHierarchyTest, DataTreeCountsAreMonotoneInThePruningLevel) {
+  Rng rng(GetParam());
+  IndexTree tree = MakeRandomTree(&rng, static_cast<int>(rng.UniformInt(2, 7)),
+                                  3);
+
+  auto count = [&](bool lemma3, bool p1, bool p4) -> uint64_t {
+    DataTreeOptions options;
+    options.lemma3_group_order = lemma3;
+    options.property1 = p1;
+    options.property4 = p4;
+    auto search = DataTreeSearch::Create(tree, options);
+    EXPECT_TRUE(search.ok());
+    auto result = search->CountPaths(100'000'000);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? *result : 0;
+  };
+
+  uint64_t unpruned = count(false, false, false);
+  uint64_t lemma3 = count(true, false, false);
+  uint64_t p12 = count(true, true, false);
+  uint64_t p124 = count(true, true, true);
+
+  // The unpruned data tree enumerates every data permutation.
+  uint64_t factorial = 1;
+  for (int i = 2; i <= tree.num_data_nodes(); ++i) {
+    factorial *= static_cast<uint64_t>(i);
+  }
+  EXPECT_EQ(unpruned, factorial);
+  EXPECT_LE(lemma3, unpruned);
+  EXPECT_LE(p12, lemma3);
+  EXPECT_LE(p124, p12);
+  EXPECT_GE(p124, 1u) << "pruning may never remove every path\n"
+                      << tree.ToString();
+}
+
+TEST_P(PruningHierarchyTest, TopoTreeReductionNeverGrowsAndKeepsAPath) {
+  Rng rng(GetParam() ^ 0xF00D);
+  IndexTree tree = MakeRandomTree(&rng, static_cast<int>(rng.UniformInt(2, 6)),
+                                  3);
+  for (int k = 1; k <= 3; ++k) {
+    TopoTreeSearch::Options full_options;
+    full_options.num_channels = k;
+    TopoTreeSearch::Options reduced_options = full_options;
+    reduced_options.prune_candidates = true;
+    reduced_options.prune_local_swap = true;
+    auto full = TopoTreeSearch::Create(tree, full_options);
+    auto reduced = TopoTreeSearch::Create(tree, reduced_options);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(reduced.ok());
+    auto full_paths = full->CountPaths(50'000'000);
+    auto reduced_paths = reduced->CountPaths(50'000'000);
+    if (!full_paths.ok()) continue;  // space too large for this instance
+    ASSERT_TRUE(reduced_paths.ok());
+    EXPECT_LE(*reduced_paths, *full_paths);
+    EXPECT_GE(*reduced_paths, 1u);
+  }
+}
+
+TEST_P(PruningHierarchyTest, OptimumIsInvariantUnderWeightScaling) {
+  // ADW is scale-free in the weights: multiplying all weights by a constant
+  // must not change the optimal allocation cost.
+  Rng rng(GetParam() ^ 0xBEEF);
+  IndexTree base = MakeRandomTree(&rng, static_cast<int>(rng.UniformInt(2, 6)),
+                                  3);
+  IndexTree scaled;
+  // Rebuild with weights x 17.5.
+  std::vector<NodeId> stack = {base.root()};
+  struct Frame {
+    NodeId src;
+    NodeId dst_parent;
+  };
+  std::vector<Frame> frames = {{base.root(), kInvalidNode}};
+  while (!frames.empty()) {
+    Frame f = frames.back();
+    frames.pop_back();
+    const TreeNode& n = base.node(f.src);
+    if (n.kind == NodeKind::kData) {
+      scaled.AddDataNode(f.dst_parent, n.weight * 17.5, n.label);
+      continue;
+    }
+    NodeId dst = scaled.AddIndexNode(f.dst_parent, n.label);
+    for (size_t i = n.children.size(); i-- > 0;) {
+      frames.push_back({n.children[i], dst});
+    }
+  }
+  ASSERT_TRUE(scaled.Finalize().ok());
+
+  for (int k = 1; k <= 2; ++k) {
+    auto a = FindOptimalAllocation(base, k);
+    auto b = FindOptimalAllocation(scaled, k);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NEAR(a->average_data_wait, b->average_data_wait, 1e-6);
+  }
+}
+
+TEST_P(PruningHierarchyTest, SearchStatsAreInternallyConsistent) {
+  Rng rng(GetParam() ^ 0xCAFE);
+  IndexTree tree = MakeRandomTree(&rng, 5, 3);
+  TopoTreeSearch::Options options;
+  options.num_channels = 2;
+  options.prune_candidates = true;
+  options.prune_local_swap = true;
+  auto search = TopoTreeSearch::Create(tree, options);
+  ASSERT_TRUE(search.ok());
+  auto result = search->FindOptimalDfs();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->stats.nodes_expanded, 1u);
+  EXPECT_GE(result->stats.paths_completed, 1u);
+  EXPECT_GT(result->average_data_wait, 0.0);
+  // Result slots are a permutation of all nodes.
+  size_t total = 0;
+  for (const auto& slot : result->slots) total += slot.size();
+  EXPECT_EQ(total, static_cast<size_t>(tree.num_nodes()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningHierarchyTest,
+                         ::testing::Range(uint64_t{40'000}, uint64_t{40'018}));
+
+// --- equal-weight degeneracy ---------------------------------------------------
+
+TEST(LowerBoundTest, DataWaitLowerBoundIsAdmissibleEverywhere) {
+  // The packing relaxation must never exceed the true optimum, for any tree
+  // and channel count — it gates both sanity checks and search guidance.
+  Rng rng(90'210);
+  for (int rep = 0; rep < 20; ++rep) {
+    IndexTree tree = MakeRandomTree(&rng, static_cast<int>(rng.UniformInt(2, 7)),
+                                    3);
+    if (tree.num_nodes() > 13) continue;
+    for (int k = 1; k <= 4; ++k) {
+      auto optimal = FindOptimalAllocation(tree, k);
+      ASSERT_TRUE(optimal.ok());
+      double bound = DataWaitLowerBound(tree, k);
+      EXPECT_LE(bound, optimal->average_data_wait + 1e-9)
+          << "k = " << k << "\n" << tree.ToString();
+      // At k >= widest level the bound is exact (Corollary 1 floor).
+      if (k >= tree.max_level_width()) {
+        EXPECT_NEAR(bound, optimal->average_data_wait, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PruningDegeneracyTest, EqualWeightsStillSearchCorrectly) {
+  // Ties everywhere: tie-break rules must keep the searches deterministic
+  // and exact (the [IVB94a] uniform-frequency setting).
+  std::vector<double> weights = EqualWeights(9, 5.0);
+  auto tree = MakeFullBalancedTree(3, 3, weights);
+  ASSERT_TRUE(tree.ok());
+  for (int k = 1; k <= 3; ++k) {
+    auto pruned = FindOptimalAllocation(*tree, k);
+    OptimalOptions raw;
+    raw.use_pruning = false;
+    auto exhaustive = FindOptimalAllocation(*tree, k, raw);
+    ASSERT_TRUE(pruned.ok());
+    ASSERT_TRUE(exhaustive.ok());
+    EXPECT_NEAR(pruned->average_data_wait, exhaustive->average_data_wait, 1e-9)
+        << "k = " << k;
+  }
+}
+
+TEST(PruningDegeneracyTest, SingleDataNode) {
+  IndexTree chain = MakeChainTree(3, 9.0);
+  auto result = FindOptimalAllocation(chain, 2);
+  ASSERT_TRUE(result.ok());
+  // Chain of 3 index nodes + 1 data node: the only order is forced.
+  EXPECT_NEAR(result->average_data_wait, 4.0, 1e-9);
+}
+
+TEST(PruningDegeneracyTest, ZeroWeightLeavesAreScheduledLast) {
+  // Items nobody asks for should never displace requested items.
+  IndexTree tree;
+  NodeId root = tree.AddIndexNode(kInvalidNode, "r");
+  tree.AddDataNode(root, 0.0, "cold");
+  tree.AddDataNode(root, 10.0, "hot");
+  ASSERT_TRUE(tree.Finalize().ok());
+  auto result = FindOptimalAllocation(tree, 1);
+  ASSERT_TRUE(result.ok());
+  // Optimal order: r hot cold -> hot waits 2 buckets.
+  EXPECT_NEAR(result->average_data_wait, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bcast

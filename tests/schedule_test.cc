@@ -1,0 +1,218 @@
+#include "broadcast/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocation.h"
+#include "broadcast/cost.h"
+#include "broadcast/pointers.h"
+#include "broadcast/schedule_builder.h"
+#include "tree/builders.h"
+
+namespace bcast {
+namespace {
+
+// Builds the Fig. 2(b) schedule by hand:
+//   C1 | 1 2 A 4 C
+//   C2 | . 3 B E D
+BroadcastSchedule MakeFig2b(const IndexTree& tree) {
+  auto id_of = [&](const std::string& label) {
+    for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+      if (tree.label(id) == label) return id;
+    }
+    return kInvalidNode;
+  };
+  BroadcastSchedule schedule(2, tree.num_nodes());
+  EXPECT_TRUE(schedule.Place(id_of("1"), 0, 0).ok());
+  EXPECT_TRUE(schedule.Place(id_of("2"), 0, 1).ok());
+  EXPECT_TRUE(schedule.Place(id_of("3"), 1, 1).ok());
+  EXPECT_TRUE(schedule.Place(id_of("A"), 0, 2).ok());
+  EXPECT_TRUE(schedule.Place(id_of("B"), 1, 2).ok());
+  EXPECT_TRUE(schedule.Place(id_of("4"), 0, 3).ok());
+  EXPECT_TRUE(schedule.Place(id_of("E"), 1, 3).ok());
+  EXPECT_TRUE(schedule.Place(id_of("C"), 0, 4).ok());
+  EXPECT_TRUE(schedule.Place(id_of("D"), 1, 4).ok());
+  return schedule;
+}
+
+TEST(ScheduleTest, PlacementBookkeeping) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule = MakeFig2b(tree);
+  EXPECT_EQ(schedule.num_channels(), 2);
+  EXPECT_EQ(schedule.num_slots(), 5);
+  EXPECT_EQ(schedule.capacity(), 10);
+  EXPECT_EQ(schedule.empty_buckets(), 1);  // C2 slot 1 is empty
+  EXPECT_EQ(schedule.at(1, 0), kInvalidNode);
+  SlotRef root_ref = schedule.placement(tree.root());
+  EXPECT_EQ(root_ref.channel, 0);
+  EXPECT_EQ(root_ref.slot, 0);
+}
+
+TEST(ScheduleTest, Fig2bDataWaitMatchesPaper) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule = MakeFig2b(tree);
+  ASSERT_TRUE(ValidateSchedule(tree, schedule).ok());
+  // (20·3 + 10·3 + 18·4 + 15·5 + 7·5) / 70 = 3.8857...
+  EXPECT_NEAR(AverageDataWait(tree, schedule), 272.0 / 70.0, 1e-9);
+}
+
+TEST(ScheduleTest, PlaceRejectsDoubleOccupancy) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule(1, tree.num_nodes());
+  ASSERT_TRUE(schedule.Place(0, 0, 0).ok());
+  Status status = schedule.Place(1, 0, 0);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ScheduleTest, PlaceRejectsReplication) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule(2, tree.num_nodes());
+  ASSERT_TRUE(schedule.Place(0, 0, 0).ok());
+  Status status = schedule.Place(0, 1, 1);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("replication"), std::string::npos);
+}
+
+TEST(ScheduleTest, PlaceRejectsBadChannel) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule(2, tree.num_nodes());
+  EXPECT_FALSE(schedule.Place(0, 2, 0).ok());
+  EXPECT_FALSE(schedule.Place(0, -1, 0).ok());
+  EXPECT_FALSE(schedule.Place(0, 0, -1).ok());
+  EXPECT_FALSE(schedule.Place(99, 0, 0).ok());
+}
+
+TEST(ScheduleTest, ValidateCatchesMissingNode) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule(1, tree.num_nodes());
+  ASSERT_TRUE(schedule.Place(tree.root(), 0, 0).ok());
+  Status status = ValidateSchedule(tree, schedule);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not placed"), std::string::npos);
+}
+
+TEST(ScheduleTest, ValidateCatchesChildBeforeParent) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule(1, tree.num_nodes());
+  // Place everything in preorder but swap the root to the end.
+  std::vector<NodeId> order = tree.PreorderSequence();
+  std::swap(order.front(), order.back());
+  for (size_t i = 0; i < order.size(); ++i) {
+    ASSERT_TRUE(schedule.Place(order[i], 0, static_cast<int>(i)).ok());
+  }
+  EXPECT_FALSE(ValidateSchedule(tree, schedule).ok());
+}
+
+TEST(ScheduleTest, ToStringRendersGrid) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule = MakeFig2b(tree);
+  std::string grid = schedule.ToString(tree);
+  EXPECT_NE(grid.find("C1 |"), std::string::npos);
+  EXPECT_NE(grid.find("C2 |"), std::string::npos);
+  EXPECT_NE(grid.find("."), std::string::npos);  // the empty bucket
+}
+
+// --- pointers -------------------------------------------------------------------
+
+TEST(PointersTest, MaterializesForwardPointers) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule = MakeFig2b(tree);
+  auto table = MaterializePointers(tree, schedule);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->cycle_length, 5);
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    const auto& ptrs = table->pointers[static_cast<size_t>(id)];
+    if (tree.is_data(id)) {
+      EXPECT_TRUE(ptrs.empty());
+      continue;
+    }
+    ASSERT_EQ(ptrs.size(), tree.children(id).size());
+    for (const BucketPointer& ptr : ptrs) {
+      EXPECT_GT(ptr.offset, 0);
+      SlotRef from = schedule.placement(id);
+      SlotRef to = schedule.placement(ptr.target);
+      EXPECT_EQ(from.slot + ptr.offset, to.slot);
+      EXPECT_EQ(ptr.channel, to.channel);
+    }
+  }
+}
+
+TEST(PointersTest, RejectsInfeasibleSchedule) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule(1, tree.num_nodes());
+  std::vector<NodeId> order = tree.PreorderSequence();
+  std::swap(order[0], order[1]);  // child before parent
+  for (size_t i = 0; i < order.size(); ++i) {
+    ASSERT_TRUE(schedule.Place(order[i], 0, static_cast<int>(i)).ok());
+  }
+  EXPECT_FALSE(MaterializePointers(tree, schedule).ok());
+}
+
+// --- schedule builder --------------------------------------------------------
+
+TEST(ScheduleBuilderTest, AppliesChannelRules) {
+  IndexTree tree = MakePaperExampleTree();
+  // The Fig. 2(b) slot structure.
+  auto id_of = [&](const std::string& label) {
+    for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+      if (tree.label(id) == label) return id;
+    }
+    return kInvalidNode;
+  };
+  SlotSequence slots = {{id_of("1")},
+                        {id_of("2"), id_of("3")},
+                        {id_of("A"), id_of("B")},
+                        {id_of("4"), id_of("E")},
+                        {id_of("C"), id_of("D")}};
+  auto schedule = BuildScheduleFromSlots(tree, 2, slots);
+  ASSERT_TRUE(schedule.ok());
+  // Rule 1: root in the first channel.
+  EXPECT_EQ(schedule->placement(id_of("1")).channel, 0);
+  // Rule 2: children share the parent's channel when free. In slot 2 both A
+  // and B want 2's channel; A (listed first) wins, B overflows. In slot 4,
+  // 4 takes 3's channel, so E (also a child of 3) overflows to the other.
+  EXPECT_EQ(schedule->placement(id_of("2")).channel, 0);
+  EXPECT_EQ(schedule->placement(id_of("A")).channel,
+            schedule->placement(id_of("2")).channel);
+  EXPECT_EQ(schedule->placement(id_of("4")).channel,
+            schedule->placement(id_of("3")).channel);
+  EXPECT_NE(schedule->placement(id_of("E")).channel,
+            schedule->placement(id_of("4")).channel);
+  EXPECT_TRUE(ValidateSchedule(tree, *schedule).ok());
+}
+
+TEST(ScheduleBuilderTest, RejectsOverfullSlot) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = {{0}, {1, 4, 2}};
+  auto schedule = BuildScheduleFromSlots(tree, 2, slots);
+  EXPECT_FALSE(schedule.ok());
+}
+
+// --- cost model ----------------------------------------------------------------
+
+TEST(CostTest, AccessCostsOnFig2b) {
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastSchedule schedule = MakeFig2b(tree);
+  AccessCosts costs = ComputeAccessCosts(tree, schedule);
+  EXPECT_NEAR(costs.average_data_wait, 272.0 / 70.0, 1e-9);
+  // Tuning: level 3 for A, B, E (prefix 1-2-A etc.), level 4 for C, D.
+  double expected_tuning = (20 * 3 + 10 * 3 + 18 * 3 + 15 * 4 + 7 * 4) / 70.0;
+  EXPECT_NEAR(costs.average_tuning_time, expected_tuning, 1e-9);
+  EXPECT_EQ(costs.cycle_length, 5);
+  EXPECT_EQ(costs.empty_buckets, 1);
+  EXPECT_GE(costs.average_switches, 0.0);
+}
+
+TEST(CostTest, LowerBoundIsAtMostOptimal) {
+  IndexTree tree = MakePaperExampleTree();
+  // Optimal 2-channel cost is 264/70 (verified by exhaustive search in the
+  // topo-search tests).
+  double bound = DataWaitLowerBound(tree, 2);
+  EXPECT_LE(bound, 264.0 / 70.0 + 1e-9);
+  EXPECT_GT(bound, 0.0);
+  // One-channel bound is looser than or equal to the k-channel one.
+  EXPECT_GE(DataWaitLowerBound(tree, 1), DataWaitLowerBound(tree, 2));
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,139 @@
+#include "sim/server_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/frequency.h"
+#include "workload/weights.h"
+
+namespace bcast {
+namespace {
+
+// --- FrequencyEstimator --------------------------------------------------------
+
+TEST(FrequencyEstimatorTest, CountsAndDecays) {
+  FrequencyEstimator estimator(3, 0.5, /*prior=*/0.0);
+  estimator.Observe(0);
+  estimator.Observe(0);
+  estimator.Observe(2);
+  EXPECT_DOUBLE_EQ(estimator.EstimatedWeight(0), 2.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimatedWeight(1), 0.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimatedWeight(2), 1.0);
+  EXPECT_EQ(estimator.total_observed(), 3u);
+  estimator.EndEpoch();
+  EXPECT_DOUBLE_EQ(estimator.EstimatedWeight(0), 1.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimatedWeight(2), 0.5);
+}
+
+TEST(FrequencyEstimatorTest, PriorKeepsWeightsPositive) {
+  FrequencyEstimator estimator(4, 1.0);
+  for (double w : estimator.EstimatedWeights()) EXPECT_GT(w, 0.0);
+}
+
+TEST(FrequencyEstimatorTest, ConvergesToTrueDistribution) {
+  Rng rng(42);
+  std::vector<double> truth = ZipfWeights(20, 1.0);
+  FrequencyEstimator estimator(20, 1.0);
+  for (int q = 0; q < 50'000; ++q) {
+    estimator.Observe(static_cast<int>(rng.WeightedIndex(truth)));
+  }
+  EXPECT_LT(NormalizedEstimationError(estimator.EstimatedWeights(), truth),
+            0.005);
+}
+
+TEST(FrequencyEstimatorDeathTest, RejectsBadInputs) {
+  EXPECT_DEATH(FrequencyEstimator(0, 0.5), "");
+  EXPECT_DEATH(FrequencyEstimator(3, 0.0), "");
+  EXPECT_DEATH(FrequencyEstimator(3, 1.5), "");
+  FrequencyEstimator estimator(3, 0.5);
+  EXPECT_DEATH(estimator.Observe(3), "");
+}
+
+TEST(NormalizedEstimationErrorTest, ZeroForMatchingDistributions) {
+  std::vector<double> a = {2.0, 4.0, 6.0};
+  std::vector<double> b = {1.0, 2.0, 3.0};  // same normalized shape
+  EXPECT_NEAR(NormalizedEstimationError(a, b), 0.0, 1e-12);
+  std::vector<double> c = {6.0, 4.0, 2.0};
+  EXPECT_GT(NormalizedEstimationError(a, c), 0.1);
+}
+
+// --- adaptive server loop -------------------------------------------------------
+
+AdaptiveServerOptions SmallOptions() {
+  AdaptiveServerOptions options;
+  options.num_channels = 2;
+  options.num_cycles = 8;
+  options.queries_per_cycle = 1500;
+  return options;
+}
+
+TEST(AdaptiveServerTest, ProducesPerCycleStats) {
+  std::vector<double> weights = ZipfWeights(40, 1.0);
+  Rng rng(1);
+  auto report = RunAdaptiveServer(weights, nullptr, &rng, SmallOptions());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->cycles.size(), 8u);
+  for (const CycleStats& stats : report->cycles) {
+    EXPECT_GT(stats.realized_data_wait, 0.0);
+    EXPECT_GT(stats.oracle_data_wait, 0.0);
+    EXPECT_GE(stats.estimation_error, 0.0);
+  }
+  EXPECT_GT(report->mean_realized, 0.0);
+}
+
+TEST(AdaptiveServerTest, LearnsAStationaryDistribution) {
+  // With no drift, the adaptive server should approach the oracle after a
+  // few cycles of observation.
+  std::vector<double> weights = ZipfWeights(60, 1.2);
+  Rng shuffle_rng(5);
+  shuffle_rng.Shuffle(&weights);
+  AdaptiveServerOptions options = SmallOptions();
+  options.num_cycles = 10;
+  Rng rng(2);
+  auto report = RunAdaptiveServer(weights, nullptr, &rng, options);
+  ASSERT_TRUE(report.ok());
+  const CycleStats& first = report->cycles.front();
+  const CycleStats& last = report->cycles.back();
+  // Estimation improves and the realized wait closes most of the initial gap.
+  EXPECT_LT(last.estimation_error, first.estimation_error);
+  double initial_gap = first.realized_data_wait - first.oracle_data_wait;
+  double final_gap = last.realized_data_wait - last.oracle_data_wait;
+  EXPECT_GT(initial_gap, 0.0) << "the uniform prior cannot match the oracle";
+  EXPECT_LT(final_gap, initial_gap * 0.5);
+}
+
+TEST(AdaptiveServerTest, AdaptiveBeatsStaticUnderDrift) {
+  std::vector<double> weights = ZipfWeights(50, 1.1);
+  auto drift = [](int /*cycle*/, std::vector<double>* w) {
+    // Slow rotation: one catalog position per cycle, so ~98% of the
+    // popularity mass stays put and a one-cycle estimation lag is cheap.
+    // (Drift faster than the estimator can track makes the popularity-
+    // agnostic static plan competitive — see bench_adaptive.)
+    std::rotate(w->begin(), w->begin() + 1, w->end());
+  };
+  AdaptiveServerOptions adaptive_options = SmallOptions();
+  adaptive_options.num_cycles = 12;
+  AdaptiveServerOptions static_options = adaptive_options;
+  static_options.replan_every = 0;
+
+  Rng rng_a(3), rng_b(3);
+  auto adaptive = RunAdaptiveServer(weights, drift, &rng_a, adaptive_options);
+  auto static_run = RunAdaptiveServer(weights, drift, &rng_b, static_options);
+  ASSERT_TRUE(adaptive.ok());
+  ASSERT_TRUE(static_run.ok());
+  EXPECT_LT(adaptive->mean_realized, static_run->mean_realized)
+      << "replanning must beat the frozen schedule under drift";
+}
+
+TEST(AdaptiveServerTest, RejectsBadOptions) {
+  Rng rng(4);
+  EXPECT_FALSE(RunAdaptiveServer({}, nullptr, &rng, SmallOptions()).ok());
+  AdaptiveServerOptions options = SmallOptions();
+  options.num_cycles = 0;
+  EXPECT_FALSE(
+      RunAdaptiveServer(ZipfWeights(10, 1.0), nullptr, &rng, options).ok());
+}
+
+}  // namespace
+}  // namespace bcast

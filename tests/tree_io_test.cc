@@ -1,0 +1,93 @@
+#include "tree/tree_io.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/builders.h"
+#include "util/rng.h"
+
+namespace bcast {
+namespace {
+
+TEST(TreeIoTest, FormatsPaperExample) {
+  IndexTree tree = MakePaperExampleTree();
+  EXPECT_EQ(FormatTree(tree), "(1 (2 A:20 B:10) (3 (4 C:15 D:7) E:18))");
+}
+
+TEST(TreeIoTest, ParsesPaperExample) {
+  auto tree = ParseTree("(1 (2 A:20 B:10) (3 (4 C:15 D:7) E:18))");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->num_nodes(), 9);
+  EXPECT_EQ(tree->num_data_nodes(), 5);
+  EXPECT_DOUBLE_EQ(tree->total_data_weight(), 70.0);
+  EXPECT_EQ(tree->label(tree->root()), "1");
+}
+
+TEST(TreeIoTest, RoundTripsRandomTrees) {
+  Rng rng(321);
+  for (int rep = 0; rep < 20; ++rep) {
+    IndexTree tree = MakeRandomTree(&rng, static_cast<int>(rng.UniformInt(1, 20)),
+                                    static_cast<int>(rng.UniformInt(2, 5)));
+    std::string text = FormatTree(tree);
+    auto parsed = ParseTree(text);
+    ASSERT_TRUE(parsed.ok()) << text << "\n" << parsed.status().ToString();
+    EXPECT_EQ(FormatTree(*parsed), text);
+    EXPECT_EQ(parsed->num_nodes(), tree.num_nodes());
+    EXPECT_DOUBLE_EQ(parsed->total_data_weight(), tree.total_data_weight());
+  }
+}
+
+TEST(TreeIoTest, ParsesSingleDataNode) {
+  auto tree = ParseTree("only:3.5");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1);
+  EXPECT_DOUBLE_EQ(tree->weight(tree->root()), 3.5);
+}
+
+TEST(TreeIoTest, AcceptsScientificNotationWeights) {
+  auto tree = ParseTree("(r a:1e2 b:2.5e-1)");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(tree->total_data_weight(), 100.25);
+}
+
+TEST(TreeIoTest, RejectsMissingParen) {
+  auto tree = ParseTree("(r a:1 b:2");
+  EXPECT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("missing ')'"), std::string::npos);
+}
+
+TEST(TreeIoTest, RejectsEmptyIndexNode) {
+  auto tree = ParseTree("(r)");
+  EXPECT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("no children"), std::string::npos);
+}
+
+TEST(TreeIoTest, RejectsMissingWeight) {
+  EXPECT_FALSE(ParseTree("(r a)").ok());
+  EXPECT_FALSE(ParseTree("(r a:)").ok());
+}
+
+TEST(TreeIoTest, RejectsNegativeWeight) {
+  auto tree = ParseTree("(r a:-5)");
+  EXPECT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("negative"), std::string::npos);
+}
+
+TEST(TreeIoTest, RejectsTrailingGarbage) {
+  auto tree = ParseTree("(r a:1 b:2) extra");
+  EXPECT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(TreeIoTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseTree("").ok());
+  EXPECT_FALSE(ParseTree("   ").ok());
+}
+
+TEST(TreeIoTest, ErrorsIncludeOffset) {
+  auto tree = ParseTree("(r a:1 b:x)");
+  ASSERT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcast

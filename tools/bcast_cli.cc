@@ -1,0 +1,237 @@
+#include "tools/bcast_cli.h"
+
+#include <climits>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "core/bcast.h"
+
+namespace bcast {
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage:\n"
+    "  bcastctl plan --tree <s-expr>|--tree-file <path> [--channels k]\n"
+    "                [--strategy auto|optimal|sorting|shrinking|level|\n"
+    "                 preorder|greedy-weight] [--simulate N] [--save <path>]\n"
+    "  bcastctl eval --program <path> [--simulate N]\n"
+    "  bcastctl info --tree <s-expr>|--tree-file <path>\n";
+
+// Parsed --flag value pairs. Every flag takes exactly one value.
+class FlagMap {
+ public:
+  static Result<FlagMap> Parse(const std::vector<std::string>& args,
+                               size_t start) {
+    FlagMap flags;
+    for (size_t i = start; i < args.size(); i += 2) {
+      if (args[i].rfind("--", 0) != 0) {
+        return InvalidArgumentError("expected a --flag, got '" + args[i] + "'");
+      }
+      if (i + 1 >= args.size()) {
+        return InvalidArgumentError("flag " + args[i] + " is missing a value");
+      }
+      flags.values_[args[i].substr(2)] = args[i + 1];
+    }
+    return flags;
+  }
+
+  std::optional<std::string> Get(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  Result<int> GetInt(const std::string& name, int default_value) const {
+    auto value = Get(name);
+    if (!value.has_value()) return default_value;
+    char* end = nullptr;
+    long parsed = std::strtol(value->c_str(), &end, 10);
+    if (end == value->c_str() || *end != '\0' || parsed < INT_MIN ||
+        parsed > INT_MAX) {
+      return InvalidArgumentError("--" + name + " expects an integer, got '" +
+                                  *value + "'");
+    }
+    return static_cast<int>(parsed);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+Result<IndexTree> LoadTree(const FlagMap& flags) {
+  auto inline_tree = flags.Get("tree");
+  auto tree_file = flags.Get("tree-file");
+  if (inline_tree.has_value() == tree_file.has_value()) {
+    return InvalidArgumentError("provide exactly one of --tree / --tree-file");
+  }
+  std::string text;
+  if (inline_tree.has_value()) {
+    text = *inline_tree;
+  } else {
+    auto contents = ReadFile(*tree_file);
+    if (!contents.ok()) return contents.status();
+    text = *contents;
+  }
+  return ParseTree(text);
+}
+
+Result<PlanStrategy> ParseStrategy(const std::string& name) {
+  static constexpr std::pair<const char*, PlanStrategy> kStrategies[] = {
+      {"auto", PlanStrategy::kAuto},
+      {"optimal", PlanStrategy::kOptimal},
+      {"sorting", PlanStrategy::kSorting},
+      {"shrinking", PlanStrategy::kShrinking},
+      {"level", PlanStrategy::kLevelAllocation},
+      {"preorder", PlanStrategy::kPreorder},
+      {"greedy-weight", PlanStrategy::kGreedyWeight},
+  };
+  for (const auto& [key, strategy] : kStrategies) {
+    if (name == key) return strategy;
+  }
+  return InvalidArgumentError("unknown strategy '" + name + "'");
+}
+
+void PrintCosts(const IndexTree& tree, const BroadcastSchedule& schedule,
+                std::ostringstream* os) {
+  AccessCosts costs = ComputeAccessCosts(tree, schedule);
+  *os << "average data wait : " << costs.average_data_wait << " buckets\n";
+  *os << "average tuning    : " << costs.average_tuning_time << " buckets\n";
+  *os << "channel switches  : " << costs.average_switches << "\n";
+  *os << "cycle length      : " << costs.cycle_length << " slots ("
+      << costs.empty_buckets << " empty buckets)\n";
+}
+
+Status Simulate(const IndexTree& tree, const BroadcastSchedule& schedule,
+                int queries, std::ostringstream* os) {
+  auto sim = ClientSimulator::Create(tree, schedule);
+  if (!sim.ok()) return sim.status();
+  Rng rng(0xC11);
+  SimOptions options;
+  options.num_queries = static_cast<uint64_t>(queries);
+  SimReport report = sim->Run(&rng, options);
+  *os << "simulated " << queries << " accesses: access "
+      << report.mean_access_time << ", data wait " << report.mean_data_wait
+      << ", tuning " << report.mean_tuning_time << " buckets, dozing "
+      << 100.0 * (1.0 - report.listen_fraction) << "% of the time\n";
+  return Status::Ok();
+}
+
+Status CmdPlan(const FlagMap& flags, std::ostringstream* os) {
+  auto tree = LoadTree(flags);
+  if (!tree.ok()) return tree.status();
+
+  PlannerOptions options;
+  auto channels = flags.GetInt("channels", 1);
+  if (!channels.ok()) return channels.status();
+  options.num_channels = *channels;
+  auto strategy = ParseStrategy(flags.Get("strategy").value_or("auto"));
+  if (!strategy.ok()) return strategy.status();
+  options.strategy = *strategy;
+
+  auto plan = PlanBroadcast(*tree, options);
+  if (!plan.ok()) return plan.status();
+
+  *os << "strategy          : " << PlanStrategyName(plan->strategy_used) << "\n";
+  *os << plan->schedule.ToString(*tree);
+  PrintCosts(*tree, plan->schedule, os);
+
+  auto simulate = flags.GetInt("simulate", 0);
+  if (!simulate.ok()) return simulate.status();
+  if (*simulate > 0) {
+    BCAST_RETURN_IF_ERROR(Simulate(*tree, plan->schedule, *simulate, os));
+  }
+
+  if (auto save = flags.Get("save"); save.has_value()) {
+    auto program = FormatProgram(*tree, plan->schedule);
+    if (!program.ok()) return program.status();
+    std::ofstream file(*save);
+    if (!file) return InternalError("cannot write '" + *save + "'");
+    file << *program;
+    *os << "saved program to " << *save << "\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdEval(const FlagMap& flags, std::ostringstream* os) {
+  auto path = flags.Get("program");
+  if (!path.has_value()) return InvalidArgumentError("--program is required");
+  auto text = ReadFile(*path);
+  if (!text.ok()) return text.status();
+  auto program = ParseProgram(*text);
+  if (!program.ok()) return program.status();
+  *os << "program is feasible\n";
+  *os << program->schedule.ToString(program->tree);
+  PrintCosts(program->tree, program->schedule, os);
+  auto simulate = flags.GetInt("simulate", 0);
+  if (!simulate.ok()) return simulate.status();
+  if (*simulate > 0) {
+    BCAST_RETURN_IF_ERROR(
+        Simulate(program->tree, program->schedule, *simulate, os));
+  }
+  return Status::Ok();
+}
+
+Status CmdInfo(const FlagMap& flags, std::ostringstream* os) {
+  auto tree = LoadTree(flags);
+  if (!tree.ok()) return tree.status();
+  *os << "nodes             : " << tree->num_nodes() << " ("
+      << tree->num_index_nodes() << " index, " << tree->num_data_nodes()
+      << " data)\n";
+  *os << "depth             : " << tree->depth() << " levels\n";
+  *os << "widest level      : " << tree->max_level_width() << " nodes\n";
+  *os << "total data weight : " << tree->total_data_weight() << "\n";
+  *os << "expected probes   : "
+      << WeightedPathLength(*tree) / tree->total_data_weight() << "\n";
+  *os << "1-ch wait floor   : " << DataWaitLowerBound(*tree, 1) << " buckets\n";
+  *os << tree->ToString();
+  return Status::Ok();
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::string* out) {
+  std::ostringstream os;
+  Status status;
+  if (args.empty()) {
+    os << kUsage;
+    *out = os.str();
+    return 2;
+  }
+  auto flags = FlagMap::Parse(args, 1);
+  if (!flags.ok()) {
+    *out = flags.status().ToString() + "\n" + kUsage;
+    return 2;
+  }
+  if (args[0] == "plan") {
+    status = CmdPlan(*flags, &os);
+  } else if (args[0] == "eval") {
+    status = CmdEval(*flags, &os);
+  } else if (args[0] == "info") {
+    status = CmdInfo(*flags, &os);
+  } else {
+    os << "unknown command '" << args[0] << "'\n" << kUsage;
+    *out = os.str();
+    return 2;
+  }
+  if (!status.ok()) {
+    os << "error: " << status.ToString() << "\n";
+    *out = os.str();
+    return 1;
+  }
+  *out = os.str();
+  return 0;
+}
+
+}  // namespace bcast

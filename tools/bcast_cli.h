@@ -1,0 +1,32 @@
+// bcastctl — command-line front end to the library.
+//
+// Subcommands:
+//   plan  --tree <s-expr> | --tree-file <path>
+//         [--channels k] [--strategy auto|optimal|sorting|shrinking|level|
+//          preorder|greedy-weight] [--simulate N] [--save <path>]
+//       plans one broadcast cycle, prints the schedule and costs, optionally
+//       simulates N client accesses and/or saves the program file.
+//   eval  --program <path> [--simulate N]
+//       loads a program file, validates it, prints its costs.
+//   info  --tree <s-expr> | --tree-file <path>
+//       prints tree statistics (nodes, depth, weights, probe cost).
+//
+// The logic lives in RunCli so the test suite can drive it in-process; the
+// binary main() just forwards argv.
+
+#ifndef BCAST_TOOLS_BCAST_CLI_H_
+#define BCAST_TOOLS_BCAST_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace bcast {
+
+/// Executes one CLI invocation. `args` excludes the program name. Appends
+/// human-readable output to *out (both normal output and error messages).
+/// Returns the process exit code (0 on success).
+int RunCli(const std::vector<std::string>& args, std::string* out);
+
+}  // namespace bcast
+
+#endif  // BCAST_TOOLS_BCAST_CLI_H_

@@ -1,0 +1,15 @@
+// bcastctl: plan, evaluate and inspect broadcast programs from the shell.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/bcast_cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string output;
+  int exit_code = bcast::RunCli(args, &output);
+  std::fputs(output.c_str(), exit_code == 0 ? stdout : stderr);
+  return exit_code;
+}
