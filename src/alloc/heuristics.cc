@@ -6,6 +6,7 @@
 
 #include "alloc/data_tree.h"
 #include "util/check.h"
+#include "verify/verifier.h"
 
 namespace bcast {
 
@@ -193,6 +194,12 @@ Result<AllocationResult> SortingHeuristic(const IndexTree& tree,
   }
   BCAST_RETURN_IF_ERROR(ValidateSlotSequence(tree, num_channels, result.slots));
   result.average_data_wait = SlotSequenceDataWait(tree, result.slots);
+  // Debug builds re-verify through the independent checker (including the
+  // ADW recount the release-mode validation above does not do).
+  BCAST_DCHECK_OK(AllocationVerifier(tree)
+                      .VerifySlots(num_channels, result.slots,
+                                   result.average_data_wait)
+                      .ToStatus());
   return result;
 }
 
@@ -416,6 +423,10 @@ Result<AllocationResult> ShrinkingHeuristic(const IndexTree& tree,
   result.slots = PackLinearOrder(tree, num_channels, *order);
   BCAST_RETURN_IF_ERROR(ValidateSlotSequence(tree, num_channels, result.slots));
   result.average_data_wait = SlotSequenceDataWait(tree, result.slots);
+  BCAST_DCHECK_OK(AllocationVerifier(tree)
+                      .VerifySlots(num_channels, result.slots,
+                                   result.average_data_wait)
+                      .ToStatus());
   return result;
 }
 

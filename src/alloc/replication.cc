@@ -126,6 +126,9 @@ Result<ReplicatedProgram> BuildReplicatedProgram(
     std::sort(occurrence_list.begin(), occurrence_list.end());
   }
   program.root_slots = program.occurrences[static_cast<size_t>(tree.root())];
+  // Debug builds re-validate the assembled program (occurrence counts, grid
+  // consistency, primary-copy ordering) before handing it out.
+  BCAST_DCHECK_OK(ValidateReplicatedProgram(tree, program));
   return program;
 }
 

@@ -8,6 +8,7 @@
 
 #include "util/check.h"
 #include "util/combinatorics.h"
+#include "verify/verifier.h"
 
 namespace bcast {
 
@@ -395,6 +396,12 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalDfs() {
   result.slots = PathToSlots(root, ctx.best_path);
   result.average_data_wait = ctx.best_v / tree_.total_data_weight();
   result.stats = ctx.stats;
+  // Debug builds statically verify every search product: feasibility of the
+  // slot sequence and the accumulated V against an independent recount.
+  BCAST_DCHECK_OK(AllocationVerifier(tree_)
+                      .VerifySlots(options_.num_channels, result.slots,
+                                   result.average_data_wait)
+                      .ToStatus());
   return result;
 }
 
@@ -471,6 +478,10 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst() {
       result.average_data_wait = node.v / tree_.total_data_weight();
       result.stats = stats;
       result.stats.paths_completed = 1;
+      BCAST_DCHECK_OK(AllocationVerifier(tree_)
+                          .VerifySlots(options_.num_channels, result.slots,
+                                       result.average_data_wait)
+                          .ToStatus());
       return result;
     }
     uint64_t key = state_key(node.mask, node.last_set);

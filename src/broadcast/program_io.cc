@@ -58,7 +58,7 @@ Result<std::string> FormatProgram(const IndexTree& tree,
   return os.str();
 }
 
-Result<BroadcastProgram> ParseProgram(const std::string& text) {
+Result<RawBroadcastProgram> ParseProgramLenient(const std::string& text) {
   std::istringstream is(text);
   std::string line;
   int line_number = 0;
@@ -96,9 +96,15 @@ Result<BroadcastProgram> ParseProgram(const std::string& text) {
   auto labels = LabelIndex(*tree);
   if (!labels.ok()) return labels.status();
 
-  BroadcastSchedule schedule(channels, tree->num_nodes());
+  RawBroadcastProgram raw;
+  raw.num_channels = channels;
+  raw.declared_slots = slots;
+  raw.grid.assign(static_cast<size_t>(channels),
+                  std::vector<NodeId>(static_cast<size_t>(slots), kInvalidNode));
+  raw.row_line_numbers.assign(static_cast<size_t>(channels), 0);
   for (int c = 0; c < channels; ++c) {
     if (!next_line()) return error("missing grid row C" + std::to_string(c + 1));
+    raw.row_line_numbers[static_cast<size_t>(c)] = line_number;
     std::istringstream row(line);
     std::string cell;
     if (!(row >> cell) || cell != "C" + std::to_string(c + 1)) {
@@ -112,8 +118,7 @@ Result<BroadcastProgram> ParseProgram(const std::string& text) {
       if (cell == ".") continue;
       auto it = labels->find(cell);
       if (it == labels->end()) return error("unknown node label '" + cell + "'");
-      Status placed = schedule.Place(it->second, c, s);
-      if (!placed.ok()) return error(placed.message());
+      raw.grid[static_cast<size_t>(c)][static_cast<size_t>(s)] = it->second;
     }
     std::string extra;
     if (row >> extra) {
@@ -122,12 +127,36 @@ Result<BroadcastProgram> ParseProgram(const std::string& text) {
     }
   }
   if (next_line()) return error("unexpected trailing content");
+  raw.tree = std::move(tree).value();
+  return raw;
+}
 
-  Status valid = ValidateSchedule(*tree, schedule);
+Result<BroadcastProgram> ParseProgram(const std::string& text) {
+  auto raw = ParseProgramLenient(text);
+  if (!raw.ok()) return raw.status();
+
+  // Replay the grid through Place() in parse order (row-major), so duplicate
+  // or colliding cells are reported against the row that introduced them.
+  BroadcastSchedule schedule(raw->num_channels, raw->tree.num_nodes());
+  for (int c = 0; c < raw->num_channels; ++c) {
+    for (int s = 0; s < raw->declared_slots; ++s) {
+      NodeId node = raw->grid[static_cast<size_t>(c)][static_cast<size_t>(s)];
+      if (node == kInvalidNode) continue;
+      Status placed = schedule.Place(node, c, s);
+      if (!placed.ok()) {
+        return InvalidArgumentError(
+            "line " +
+            std::to_string(raw->row_line_numbers[static_cast<size_t>(c)]) +
+            ": " + placed.message());
+      }
+    }
+  }
+
+  Status valid = ValidateSchedule(raw->tree, schedule);
   if (!valid.ok()) {
     return InvalidArgumentError("program is infeasible: " + valid.message());
   }
-  return BroadcastProgram{std::move(tree).value(), std::move(schedule)};
+  return BroadcastProgram{std::move(raw->tree), std::move(schedule)};
 }
 
 }  // namespace bcast

@@ -33,6 +33,23 @@ struct BroadcastProgram {
   BroadcastSchedule schedule;
 };
 
+/// A parsed-but-unvalidated broadcast program: the header, tree, and grid
+/// have the right shape and every grid label resolves, but the grid may break
+/// every feasibility rule (duplicated nodes, missing nodes, children before
+/// parents, trailing empty columns). This is the input form of the
+/// allocation verifier — `bcastctl verify` uses it to produce a full
+/// violation report where ParseProgram would stop at the first problem.
+struct RawBroadcastProgram {
+  IndexTree tree;
+  int num_channels = 0;
+  int declared_slots = 0;
+  /// grid[channel][slot]; kInvalidNode for "." cells. Every row has exactly
+  /// `declared_slots` cells.
+  std::vector<std::vector<NodeId>> grid;
+  /// 1-based source line of each grid row, for diagnostics.
+  std::vector<int> row_line_numbers;
+};
+
 /// Serializes; errors if labels are empty/duplicated or the schedule is not a
 /// feasible allocation of the tree.
 Result<std::string> FormatProgram(const IndexTree& tree,
@@ -40,6 +57,11 @@ Result<std::string> FormatProgram(const IndexTree& tree,
 
 /// Parses and validates. Errors carry the offending line.
 Result<BroadcastProgram> ParseProgram(const std::string& text);
+
+/// Parses syntax only (header shape, tree well-formedness, label resolution,
+/// row/cell counts) without enforcing allocation feasibility. Errors carry
+/// the offending line.
+Result<RawBroadcastProgram> ParseProgramLenient(const std::string& text);
 
 }  // namespace bcast
 

@@ -98,6 +98,53 @@ std::string BroadcastSchedule::ToString(const IndexTree& tree) const {
   return os.str();
 }
 
+Status BroadcastSchedule::CheckInvariants() const {
+  int highest_occupied = -1;
+  for (size_t c = 0; c < grid_.size(); ++c) {
+    if (static_cast<int>(grid_[c].size()) > num_slots_) {
+      return InternalError("channel " + std::to_string(c + 1) +
+                           " has more slots than the cycle length");
+    }
+    for (size_t s = 0; s < grid_[c].size(); ++s) {
+      NodeId node = grid_[c][s];
+      if (node == kInvalidNode) continue;
+      highest_occupied = std::max(highest_occupied, static_cast<int>(s));
+      if (node < 0 || node >= static_cast<NodeId>(placement_.size())) {
+        return InternalError("bucket C" + std::to_string(c + 1) + "[" +
+                             std::to_string(s + 1) +
+                             "] holds out-of-range node id " +
+                             std::to_string(node));
+      }
+      SlotRef ref = placement_[static_cast<size_t>(node)];
+      if (!(ref == SlotRef{static_cast<int>(c), static_cast<int>(s)})) {
+        return InternalError("node " + std::to_string(node) +
+                             " occupies bucket C" + std::to_string(c + 1) +
+                             "[" + std::to_string(s + 1) +
+                             "] but its placement points elsewhere");
+      }
+    }
+  }
+  for (size_t id = 0; id < placement_.size(); ++id) {
+    SlotRef ref = placement_[id];
+    if (!ref.placed()) continue;
+    if (ref.channel < 0 || ref.channel >= num_channels_ || ref.slot < 0 ||
+        ref.slot >= num_slots_) {
+      return InternalError("placement of node " + std::to_string(id) +
+                           " is out of the grid's bounds");
+    }
+    if (at(ref.channel, ref.slot) != static_cast<NodeId>(id)) {
+      return InternalError("placement of node " + std::to_string(id) +
+                           " points to a bucket holding something else");
+    }
+  }
+  if (num_slots_ > 0 && highest_occupied != num_slots_ - 1) {
+    return InternalError("cycle length " + std::to_string(num_slots_) +
+                         " does not match the highest occupied slot " +
+                         std::to_string(highest_occupied + 1));
+  }
+  return Status::Ok();
+}
+
 Status ValidateSchedule(const IndexTree& tree, const BroadcastSchedule& schedule) {
   for (NodeId id = 0; id < tree.num_nodes(); ++id) {
     SlotRef ref = schedule.placement(id);

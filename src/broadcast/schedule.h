@@ -65,6 +65,12 @@ class BroadcastSchedule {
   ///   C2 | .  3  B  E  D
   std::string ToString(const IndexTree& tree) const;
 
+  /// Deep structural self-check: grid cells and the placement map agree in
+  /// both directions, and the cycle length equals the highest occupied slot
+  /// plus one. Place() maintains these by construction; the debug-build hooks
+  /// re-derive them to catch memory corruption or future refactoring bugs.
+  Status CheckInvariants() const;
+
  private:
   int num_channels_;
   int num_slots_ = 0;

@@ -48,6 +48,9 @@ Result<BroadcastSchedule> BuildScheduleFromSlots(
     }
   }
   BCAST_RETURN_IF_ERROR(ValidateSchedule(tree, schedule));
+  // Debug builds additionally re-derive the grid/placement-map agreement and
+  // cycle-length bookkeeping from scratch.
+  BCAST_DCHECK_OK(schedule.CheckInvariants());
   return schedule;
 }
 

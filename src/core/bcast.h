@@ -28,6 +28,7 @@
 #include "tree/index_tree.h"        // IWYU pragma: export
 #include "tree/tree_io.h"           // IWYU pragma: export
 #include "util/status.h"            // IWYU pragma: export
+#include "verify/verifier.h"        // IWYU pragma: export
 #include "workload/frequency.h"     // IWYU pragma: export
 #include "workload/query_sampler.h" // IWYU pragma: export
 #include "workload/weights.h"       // IWYU pragma: export

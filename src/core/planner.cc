@@ -4,6 +4,7 @@
 
 #include "alloc/baselines.h"
 #include "broadcast/schedule_builder.h"
+#include "verify/verifier.h"
 
 namespace bcast {
 
@@ -108,6 +109,13 @@ Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
   BroadcastPlan plan{strategy, std::move(allocation),
                      std::move(schedule).value(), AccessCosts{}};
   plan.costs = ComputeAccessCosts(tree, plan.schedule);
+  // Debug builds verify the full plan: the channel-assigned schedule (cross-
+  // checked against broadcast/cost.cc) and the strategy's claimed data wait.
+  BCAST_DCHECK_OK(AllocationVerifier(tree).VerifySchedule(plan.schedule).ToStatus());
+  BCAST_DCHECK_OK(AllocationVerifier(tree)
+                      .VerifySlots(options.num_channels, plan.allocation.slots,
+                                   plan.allocation.average_data_wait)
+                      .ToStatus());
   return plan;
 }
 

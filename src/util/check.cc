@@ -4,6 +4,10 @@ namespace bcast::internal {
 
 void CheckFailed(const char* file, int line, const char* condition,
                  const std::string& message) {
+  // Drain buffered program output first so the failure report lands after —
+  // not interleaved with — whatever the process printed before dying, then
+  // flush stderr itself (it is fully buffered when redirected to a file).
+  std::fflush(stdout);
   std::fprintf(stderr, "BCAST_CHECK failed at %s:%d: %s %s\n", file, line,
                condition, message.c_str());
   std::fflush(stderr);

@@ -63,11 +63,36 @@ class CheckMessageBuilder {
 #define BCAST_CHECK_GT(a, b) BCAST_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
 #define BCAST_CHECK_GE(a, b) BCAST_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
 
-// Debug-only check for hot loops.
+// Debug-only checks for hot loops and expensive cross-validation (e.g. the
+// allocation-verifier hooks at the algorithm exits). Compiled out entirely in
+// NDEBUG builds: the condition/status expression is not evaluated.
 #ifdef NDEBUG
 #define BCAST_DCHECK(condition) BCAST_CHECK(true)
+#define BCAST_DCHECK_EQ(a, b) BCAST_CHECK(true)
+#define BCAST_DCHECK_NE(a, b) BCAST_CHECK(true)
+#define BCAST_DCHECK_LT(a, b) BCAST_CHECK(true)
+#define BCAST_DCHECK_LE(a, b) BCAST_CHECK(true)
+#define BCAST_DCHECK_GT(a, b) BCAST_CHECK(true)
+#define BCAST_DCHECK_GE(a, b) BCAST_CHECK(true)
+#define BCAST_DCHECK_OK(expr) BCAST_CHECK(true)
 #else
 #define BCAST_DCHECK(condition) BCAST_CHECK(condition)
+#define BCAST_DCHECK_EQ(a, b) BCAST_CHECK_EQ(a, b)
+#define BCAST_DCHECK_NE(a, b) BCAST_CHECK_NE(a, b)
+#define BCAST_DCHECK_LT(a, b) BCAST_CHECK_LT(a, b)
+#define BCAST_DCHECK_LE(a, b) BCAST_CHECK_LE(a, b)
+#define BCAST_DCHECK_GT(a, b) BCAST_CHECK_GT(a, b)
+#define BCAST_DCHECK_GE(a, b) BCAST_CHECK_GE(a, b)
+// Debug-only: `expr` must evaluate to a bcast::Status; aborts with the status
+// text on non-OK. Call sites must see util/status.h (the macro body names
+// ::bcast::Status textually; this header cannot include status.h, which
+// includes it back).
+#define BCAST_DCHECK_OK(expr)                                         \
+  if (const ::bcast::Status bcast_dcheck_ok_status_ = (expr);         \
+      bcast_dcheck_ok_status_.ok()) {                                 \
+  } else                                                              \
+    ::bcast::internal::CheckMessageBuilder(__FILE__, __LINE__, #expr) \
+        << bcast_dcheck_ok_status_.ToString() << " "
 #endif
 
 #endif  // BCAST_UTIL_CHECK_H_

@@ -1,0 +1,153 @@
+// Allocation-invariant verifier: independent static checking of allocations
+// and schedules.
+//
+// Every result in the paper rests on two structural invariants of the
+// allocation mapping f : I ∪ D → C × S — it is one-to-one, and every child is
+// broadcast strictly after its parent (Section 2.2). The algorithms in
+// src/alloc/ enforce these by construction; this subsystem re-derives them
+// from first principles on any produced artifact, so a bug anywhere in the
+// 500-line searches surfaces as a structured report instead of a silently
+// wrong schedule. Checks performed:
+//
+//   (a) bijectivity — every tree node placed exactly once, no cell collisions;
+//   (b) ordering    — child strictly after parent (Algorithm 1 feasibility);
+//   (c) bounds      — channels/slots in range, per-slot capacity <= k, cycle
+//                     length consistent with the highest occupied slot;
+//   (d) cost        — an independent average-data-wait recomputation (its own
+//                     weight summation, no calls into the checked code),
+//                     cross-checked against a claimed ADW and, for concrete
+//                     schedules, against broadcast/cost.cc.
+//
+// Unlike the boolean-ish ValidateSlotSequence / ValidateSchedule fast paths
+// (which stop at the first problem), the verifier collects *all* violations
+// with the offending node ids, for diagnostics (`bcastctl verify`) and for
+// the debug-build hooks at the exits of the allocation algorithms.
+//
+// Layering: this library depends on tree/ and broadcast/ only, so that
+// alloc/ (whose outputs it checks) can link against it without a cycle.
+
+#ifndef BCAST_VERIFY_VERIFIER_H_
+#define BCAST_VERIFY_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "broadcast/schedule.h"
+#include "tree/index_tree.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// The classes of invariant violation the verifier distinguishes.
+enum class ViolationKind {
+  kUnknownNode,         // id outside the tree's id space
+  kDuplicatePlacement,  // node appears in more than one cell (bijectivity)
+  kMissingNode,         // node never placed (bijectivity)
+  kChannelOutOfRange,   // placement on a channel >= num_channels (or < 0)
+  kSlotOutOfRange,      // placement beyond the declared cycle length
+  kSlotOverflow,        // more nodes in one slot than channels exist
+  kGridInconsistency,   // grid cell and placement map disagree
+  kOrderViolation,      // child not strictly after its parent
+  kCycleLengthMismatch, // declared/implied cycle length vs occupancy
+  kDataWaitMismatch,    // claimed ADW differs from the recomputation
+};
+
+/// Canonical name ("DUPLICATE_PLACEMENT", "ORDER_VIOLATION", ...).
+const char* ViolationKindName(ViolationKind kind);
+
+/// One violation, naming the offending node(s).
+struct Violation {
+  ViolationKind kind = ViolationKind::kUnknownNode;
+  /// Primary offender (kInvalidNode for tree-independent findings such as a
+  /// cycle-length mismatch).
+  NodeId node = kInvalidNode;
+  /// Second party when the violation is a relation: the parent of an
+  /// order violation, the first copy of a duplicate placement.
+  NodeId other = kInvalidNode;
+  std::string detail;  // human-readable, with labels and 1-based slots
+
+  /// "ORDER_VIOLATION node 5: child 'D' (slot 2) not after parent '4' (slot 3)"
+  std::string ToString() const;
+};
+
+/// The verifier's structured result: all violations found, plus the
+/// independently recomputed average data wait when the allocation was sound
+/// enough to price (every data node placed exactly once).
+struct VerifyReport {
+  std::vector<Violation> violations;
+  /// Violations beyond Options::max_violations found but not recorded.
+  int suppressed = 0;
+  /// Valid iff `priced` — structural damage can make the ADW meaningless.
+  double recomputed_data_wait = 0.0;
+  bool priced = false;
+
+  bool ok() const { return violations.empty() && suppressed == 0; }
+
+  /// One violation per line; empty string for a clean report.
+  std::string ToString() const;
+
+  /// OK for a clean report; FailedPreconditionError carrying the full
+  /// rendered report otherwise. Bridges into the Status/Result model.
+  Status ToStatus() const;
+};
+
+/// Verifies allocations of one index tree. Stateless beyond the tree
+/// reference and options; cheap to construct per call site.
+class AllocationVerifier {
+ public:
+  struct Options {
+    /// Absolute tolerance when comparing average data waits (they are exact
+    /// rational sums evaluated in double; 1e-6 buckets is far above any
+    /// rounding noise and far below any real misplacement).
+    double adw_tolerance = 1e-6;
+    /// Cap on collected violations so a corrupt megabyte-scale program file
+    /// cannot produce a megabyte-scale report.
+    int max_violations = 100;
+  };
+
+  explicit AllocationVerifier(const IndexTree& tree);
+  AllocationVerifier(const IndexTree& tree, Options options);
+
+  /// Checks a channel-agnostic slot sequence (`slots[s]` = nodes sharing slot
+  /// s): bijectivity, per-slot capacity <= num_channels, ordering, no empty
+  /// slots (every algorithm emits dense cycles; an empty slot means the
+  /// producer lost track of its cycle length).
+  VerifyReport VerifySlots(int num_channels,
+                           const std::vector<std::vector<NodeId>>& slots) const;
+
+  /// VerifySlots plus the cost cross-check: the producer's claimed average
+  /// data wait must match the independent recomputation.
+  VerifyReport VerifySlots(int num_channels,
+                           const std::vector<std::vector<NodeId>>& slots,
+                           double claimed_data_wait) const;
+
+  /// Checks a concrete channel × slot schedule: bijectivity, bounds,
+  /// grid/placement-map agreement, ordering; the recomputed ADW is also
+  /// cross-checked against broadcast/cost.cc's AverageDataWait.
+  VerifyReport VerifySchedule(const BroadcastSchedule& schedule) const;
+
+  /// Checks a raw grid (`grid[channel][slot]`, kInvalidNode for empty
+  /// buckets) against declared dimensions — the lenient-parse form of a
+  /// program file, where nothing can be assumed. Rows beyond `num_channels`
+  /// or cells beyond `num_slots` are reported per offending node.
+  VerifyReport VerifyGrid(int num_channels, int num_slots,
+                          const std::vector<std::vector<NodeId>>& grid) const;
+
+ private:
+  class Collector;
+
+  /// Shared core over a node -> 1-based-slot map (-1 = unplaced): ordering,
+  /// missing nodes, and — when `allow_pricing` and the map is complete — the
+  /// independent ADW recomputation, written into `report`.
+  void CheckOrderAndPrice(const std::vector<int>& slot_of, bool allow_pricing,
+                          Collector* out, VerifyReport* report) const;
+
+  std::string NodeName(NodeId id) const;
+
+  const IndexTree& tree_;
+  Options options_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_VERIFY_VERIFIER_H_

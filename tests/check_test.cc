@@ -1,0 +1,68 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace bcast {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckTest, PassingCheckDoesNotEvaluateStreamArguments) {
+  int evaluations = 0;
+  BCAST_CHECK(true) << ++evaluations;
+  BCAST_CHECK_EQ(1, 1) << ++evaluations;
+  BCAST_CHECK_LE(1, 2) << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckDeathTest, FailureReportsLocationConditionAndMessage) {
+  EXPECT_DEATH(BCAST_CHECK(1 == 2) << "with detail " << 42,
+               "BCAST_CHECK failed at .*check_test\\.cc:[0-9]+: "
+               "1 == 2 with detail 42");
+}
+
+TEST(CheckDeathTest, CheckEqFormatsBothOperands) {
+  int lhs = 3, rhs = 7;
+  EXPECT_DEATH(BCAST_CHECK_EQ(lhs, rhs), "\\(3 vs 7\\)");
+}
+
+TEST(CheckDeathTest, CheckLtFormatsBothOperands) {
+  EXPECT_DEATH(BCAST_CHECK_LT(9, 4), "BCAST_CHECK failed .* \\(9 vs 4\\)");
+}
+
+#ifdef NDEBUG
+
+TEST(CheckTest, DchecksCompileOutInOptimizedBuilds) {
+  // Neither the condition nor the stream arguments may be evaluated.
+  int evaluations = 0;
+  BCAST_DCHECK(++evaluations != 0) << ++evaluations;
+  BCAST_DCHECK_EQ(++evaluations, 1);
+  BCAST_DCHECK_OK(
+      (++evaluations, InternalError("never materialized")));
+  EXPECT_EQ(evaluations, 0);
+}
+
+#else  // !NDEBUG
+
+TEST(CheckDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(BCAST_DCHECK(false) << "debug invariant",
+               "BCAST_CHECK failed .* false debug invariant");
+}
+
+TEST(CheckDeathTest, DcheckOkAbortsWithStatusText) {
+  EXPECT_DEATH(BCAST_DCHECK_OK(InternalError("schedule corrupt")),
+               "schedule corrupt");
+}
+
+TEST(CheckTest, DcheckOkPassesOnOkStatus) {
+  int evaluations = 0;
+  BCAST_DCHECK_OK(Status::Ok()) << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace bcast

@@ -99,6 +99,61 @@ TEST(CliTest, SaveAndEvalRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(CliTest, VerifyAcceptsSavedProgram) {
+  std::string path = ::testing::TempDir() + "/cli_verify_ok.txt";
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                         "--strategy", "optimal", "--save", path},
+                        &out);
+  ASSERT_EQ(code, 0) << out;
+
+  std::string verify_out;
+  code = RunCommand({"verify", "--program", path}, &verify_out);
+  EXPECT_EQ(code, 0) << verify_out;
+  EXPECT_NE(verify_out.find("program is feasible"), std::string::npos);
+  EXPECT_NE(verify_out.find("average data wait : 3.77143"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, VerifyReportsAllViolationsOfCorruptProgram) {
+  // A grid that duplicates A, drops E, and broadcasts 4 before its parent 3.
+  std::string path = ::testing::TempDir() + "/cli_verify_bad.txt";
+  {
+    std::ofstream file(path);
+    file << "bcast-program v1\n"
+            "channels 2\n"
+            "slots 5\n"
+            "tree (1 (2 A:20 B:10) (3 (4 C:15 D:7) E:18))\n"
+            "C1 1 4 A C A\n"
+            "C2 . 2 3 B D\n";
+  }
+  std::string out;
+  EXPECT_EQ(RunCommand({"verify", "--program", path}, &out), 1);
+  EXPECT_NE(out.find("DUPLICATE_PLACEMENT"), std::string::npos) << out;
+  EXPECT_NE(out.find("MISSING_NODE"), std::string::npos) << out;
+  EXPECT_NE(out.find("ORDER_VIOLATION"), std::string::npos) << out;
+  EXPECT_NE(out.find("not feasible"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, VerifyRejectsMalformedSyntax) {
+  std::string path = ::testing::TempDir() + "/cli_verify_syntax.txt";
+  {
+    std::ofstream file(path);
+    file << "bcast-program v1\nchannels 2\n";
+  }
+  std::string out;
+  EXPECT_EQ(RunCommand({"verify", "--program", path}, &out), 1);
+  EXPECT_NE(out.find("expected 'slots <n>'"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, VerifyRequiresProgramFlag) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"verify"}, &out), 1);
+  EXPECT_NE(out.find("--program is required"), std::string::npos);
+}
+
 TEST(CliTest, EvalRejectsMissingFile) {
   std::string out;
   EXPECT_EQ(RunCommand({"eval", "--program", "/nonexistent/path.txt"}, &out), 1);

@@ -1,0 +1,298 @@
+#include "verify/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "alloc/optimal.h"
+#include "broadcast/schedule_builder.h"
+#include "tree/builders.h"
+
+namespace bcast {
+namespace {
+
+NodeId ByLabel(const IndexTree& tree, const std::string& label) {
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    if (tree.label(id) == label) return id;
+  }
+  ADD_FAILURE() << "no node labelled '" << label << "'";
+  return kInvalidNode;
+}
+
+bool HasViolation(const VerifyReport& report, ViolationKind kind, NodeId node) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&](const Violation& v) {
+                       return v.kind == kind && v.node == node;
+                     });
+}
+
+// A feasible two-channel allocation of the paper's Fig. 1 tree in the style
+// of its Fig. 2 cycles, as a channel-agnostic slot sequence:
+// {1}, {2,3}, {4,A}, {C,B}, {D,E}. ADW = (20*3+10*4+15*4+7*5+18*5)/70
+// = 285/70.
+SlotSequence PaperFig2Slots(const IndexTree& tree) {
+  return {{ByLabel(tree, "1")},
+          {ByLabel(tree, "2"), ByLabel(tree, "3")},
+          {ByLabel(tree, "4"), ByLabel(tree, "A")},
+          {ByLabel(tree, "C"), ByLabel(tree, "B")},
+          {ByLabel(tree, "D"), ByLabel(tree, "E")}};
+}
+
+TEST(VerifierTest, AcceptsPaperExampleAllocation) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+
+  VerifyReport report = AllocationVerifier(tree).VerifySlots(2, slots);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  ASSERT_TRUE(report.priced);
+  EXPECT_NEAR(report.recomputed_data_wait, 285.0 / 70.0, 1e-9);
+  EXPECT_TRUE(report.ToStatus().ok());
+  EXPECT_EQ(report.ToString(), "");
+}
+
+TEST(VerifierTest, AcceptsClaimedDataWaitWithinTolerance) {
+  IndexTree tree = MakePaperExampleTree();
+  VerifyReport report =
+      AllocationVerifier(tree).VerifySlots(2, PaperFig2Slots(tree), 285.0 / 70.0);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(VerifierTest, RejectsWrongClaimedDataWait) {
+  IndexTree tree = MakePaperExampleTree();
+  VerifyReport report =
+      AllocationVerifier(tree).VerifySlots(2, PaperFig2Slots(tree), 3.5);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kDataWaitMismatch);
+  EXPECT_NE(report.violations[0].detail.find("3.5"), std::string::npos);
+  EXPECT_NE(report.ToStatus().ToString().find("DATA_WAIT_MISMATCH"),
+            std::string::npos);
+}
+
+TEST(VerifierTest, RejectsDuplicatePlacementNamingTheNode) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  NodeId a = ByLabel(tree, "A");
+  slots[4].push_back(a);  // A appears in slot 3 and again in slot 5
+
+  VerifyReport report = AllocationVerifier(tree).VerifySlots(2, slots);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, ViolationKind::kDuplicatePlacement, a))
+      << report.ToString();
+  // Structural damage: the report must not claim a priced ADW.
+  EXPECT_FALSE(report.priced);
+}
+
+TEST(VerifierTest, RejectsChildBeforeParentNamingBothNodes) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  // Swap node 4 (child of 3, slot 3) with its parent 3 (slot 2).
+  std::swap(slots[1][1], slots[2][0]);
+
+  VerifyReport report = AllocationVerifier(tree).VerifySlots(2, slots);
+  EXPECT_FALSE(report.ok());
+  NodeId four = ByLabel(tree, "4");
+  NodeId three = ByLabel(tree, "3");
+  ASSERT_TRUE(HasViolation(report, ViolationKind::kOrderViolation, four))
+      << report.ToString();
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kOrderViolation && v.node == four) {
+      EXPECT_EQ(v.other, three);
+      EXPECT_NE(v.detail.find("'4'"), std::string::npos);
+      EXPECT_NE(v.detail.find("'3'"), std::string::npos);
+    }
+  }
+}
+
+TEST(VerifierTest, RejectsEqualSlotForParentAndChild) {
+  IndexTree tree = MakePaperExampleTree();
+  // Root with everything else crammed into one following slot: children of
+  // 2, 3, 4 share their parents' slot.
+  SlotSequence slots = {{ByLabel(tree, "1")},
+                        {ByLabel(tree, "2"), ByLabel(tree, "3"),
+                         ByLabel(tree, "4"), ByLabel(tree, "A"),
+                         ByLabel(tree, "B"), ByLabel(tree, "C"),
+                         ByLabel(tree, "D"), ByLabel(tree, "E")}};
+  VerifyReport report = AllocationVerifier(tree).VerifySlots(8, slots);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, ViolationKind::kOrderViolation,
+                           ByLabel(tree, "4")))
+      << report.ToString();
+}
+
+TEST(VerifierTest, RejectsMissingNode) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  NodeId e = slots[4][1];
+  slots[4].pop_back();  // drop E entirely
+
+  VerifyReport report = AllocationVerifier(tree).VerifySlots(2, slots);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, ViolationKind::kMissingNode, e))
+      << report.ToString();
+  EXPECT_FALSE(report.priced);
+}
+
+TEST(VerifierTest, RejectsUnknownNodeId) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  slots[0].push_back(999);
+
+  VerifyReport report = AllocationVerifier(tree).VerifySlots(2, slots);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, ViolationKind::kUnknownNode, 999))
+      << report.ToString();
+}
+
+TEST(VerifierTest, RejectsSlotOverflow) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+
+  // Valid for 2 channels but not for 1.
+  VerifyReport report = AllocationVerifier(tree).VerifySlots(1, slots);
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kSlotOverflow) {
+      found = true;
+      EXPECT_NE(v.detail.find("1 channel"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+TEST(VerifierTest, RejectsEmptySlotAsCycleLengthMismatch) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  slots.insert(slots.begin() + 2, std::vector<NodeId>{});  // a hole in the cycle
+
+  VerifyReport report = AllocationVerifier(tree).VerifySlots(2, slots);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(
+      HasViolation(report, ViolationKind::kCycleLengthMismatch, kInvalidNode))
+      << report.ToString();
+}
+
+TEST(VerifierTest, CapsReportAtMaxViolations) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  for (int i = 0; i < 5; ++i) slots[4].push_back(100 + i);  // 5 unknown ids
+
+  AllocationVerifier::Options options;
+  options.max_violations = 2;
+  VerifyReport report =
+      AllocationVerifier(tree, options).VerifySlots(2, slots);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.size(), 2u);
+  EXPECT_GE(report.suppressed, 3);
+  EXPECT_NE(report.ToString().find("more violations suppressed"),
+            std::string::npos);
+}
+
+TEST(VerifierTest, ViolationToStringNamesKindAndNode) {
+  Violation v{ViolationKind::kOrderViolation, 5, 4, "child before parent"};
+  EXPECT_EQ(v.ToString(), "ORDER_VIOLATION node 5: child before parent");
+}
+
+TEST(VerifierTest, AcceptsScheduleBuiltFromOptimalSearch) {
+  IndexTree tree = MakePaperExampleTree();
+  auto optimal = FindOptimalAllocation(tree, 2, OptimalOptions{});
+  ASSERT_TRUE(optimal.ok()) << optimal.status().ToString();
+  auto schedule = BuildScheduleFromSlots(tree, 2, optimal->slots);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+
+  VerifyReport report = AllocationVerifier(tree).VerifySchedule(*schedule);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  ASSERT_TRUE(report.priced);
+  EXPECT_NEAR(report.recomputed_data_wait, optimal->average_data_wait, 1e-9);
+}
+
+TEST(VerifierTest, RejectsScheduleWithChildBeforeParent) {
+  IndexTree tree = MakePaperExampleTree();
+  // Place the whole tree in reverse topological order on one channel:
+  // every child lands before its parent.
+  BroadcastSchedule schedule(1, tree.num_nodes());
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    ASSERT_TRUE(schedule.Place(id, 0, tree.num_nodes() - 1 - id).ok());
+  }
+  VerifyReport report = AllocationVerifier(tree).VerifySchedule(schedule);
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const Violation& v : report.violations) {
+    found |= v.kind == ViolationKind::kOrderViolation;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+// The corrupted-program path used by `bcastctl verify`: a raw grid whose
+// cells may sit outside the declared channel x slot box entirely.
+TEST(VerifierTest, GridRejectsOutOfRangeChannel) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  // Rebuild Fig. 2 as a raw grid, then move D onto a third, undeclared row.
+  std::vector<std::vector<NodeId>> grid(3,
+                                        std::vector<NodeId>(5, kInvalidNode));
+  for (size_t s = 0; s < slots.size(); ++s) {
+    for (size_t c = 0; c < slots[s].size(); ++c) grid[c][s] = slots[s][c];
+  }
+  NodeId d = grid[0][4];
+  grid[0][4] = kInvalidNode;
+  grid[2][4] = d;
+
+  VerifyReport report = AllocationVerifier(tree).VerifyGrid(2, 5, grid);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, ViolationKind::kChannelOutOfRange, d))
+      << report.ToString();
+}
+
+TEST(VerifierTest, GridRejectsSlotBeyondDeclaredCycle) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  std::vector<std::vector<NodeId>> grid(2,
+                                        std::vector<NodeId>(6, kInvalidNode));
+  for (size_t s = 0; s < slots.size(); ++s) {
+    for (size_t c = 0; c < slots[s].size(); ++c) grid[c][s] = slots[s][c];
+  }
+  NodeId e = grid[1][4];
+  grid[1][4] = kInvalidNode;
+  grid[1][5] = e;  // slot 6 of a cycle declared as 5 slots
+
+  VerifyReport report = AllocationVerifier(tree).VerifyGrid(2, 5, grid);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, ViolationKind::kSlotOutOfRange, e))
+      << report.ToString();
+}
+
+TEST(VerifierTest, GridAcceptsPaperExample) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  std::vector<std::vector<NodeId>> grid(2,
+                                        std::vector<NodeId>(5, kInvalidNode));
+  for (size_t s = 0; s < slots.size(); ++s) {
+    for (size_t c = 0; c < slots[s].size(); ++c) grid[c][s] = slots[s][c];
+  }
+  VerifyReport report = AllocationVerifier(tree).VerifyGrid(2, 5, grid);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  ASSERT_TRUE(report.priced);
+  EXPECT_NEAR(report.recomputed_data_wait, 285.0 / 70.0, 1e-9);
+}
+
+TEST(VerifierTest, GridReportsTrailingEmptyColumns) {
+  IndexTree tree = MakePaperExampleTree();
+  SlotSequence slots = PaperFig2Slots(tree);
+  std::vector<std::vector<NodeId>> grid(2,
+                                        std::vector<NodeId>(7, kInvalidNode));
+  for (size_t s = 0; s < slots.size(); ++s) {
+    for (size_t c = 0; c < slots[s].size(); ++c) grid[c][s] = slots[s][c];
+  }
+  // Declared as 7 slots, highest occupied is 5.
+  VerifyReport report = AllocationVerifier(tree).VerifyGrid(2, 7, grid);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(
+      HasViolation(report, ViolationKind::kCycleLengthMismatch, kInvalidNode))
+      << report.ToString();
+}
+
+}  // namespace
+}  // namespace bcast

@@ -19,6 +19,7 @@ constexpr char kUsage[] =
     "                [--strategy auto|optimal|sorting|shrinking|level|\n"
     "                 preorder|greedy-weight] [--simulate N] [--save <path>]\n"
     "  bcastctl eval --program <path> [--simulate N]\n"
+    "  bcastctl verify --program <path>\n"
     "  bcastctl info --tree <s-expr>|--tree-file <path>\n";
 
 // Parsed --flag value pairs. Every flag takes exactly one value.
@@ -183,6 +184,37 @@ Status CmdEval(const FlagMap& flags, std::ostringstream* os) {
   return Status::Ok();
 }
 
+Status CmdVerify(const FlagMap& flags, std::ostringstream* os) {
+  auto path = flags.Get("program");
+  if (!path.has_value()) return InvalidArgumentError("--program is required");
+  auto text = ReadFile(*path);
+  if (!text.ok()) return text.status();
+  // The lenient parse accepts infeasible grids so the verifier can report
+  // every violation; ParseProgram would stop at the first problem.
+  auto raw = ParseProgramLenient(*text);
+  if (!raw.ok()) return raw.status();
+
+  VerifyReport report = AllocationVerifier(raw->tree).VerifyGrid(
+      raw->num_channels, raw->declared_slots, raw->grid);
+  if (!report.ok()) {
+    *os << report.ToString();
+    return FailedPreconditionError(*path + ": allocation is not feasible (" +
+                                   std::to_string(report.violations.size()) +
+                                   " violation(s))");
+  }
+  *os << "program is feasible\n";
+  *os << "nodes             : " << raw->tree.num_nodes() << " ("
+      << raw->tree.num_index_nodes() << " index, "
+      << raw->tree.num_data_nodes() << " data)\n";
+  *os << "channels          : " << raw->num_channels << "\n";
+  *os << "cycle length      : " << raw->declared_slots << " slots\n";
+  if (report.priced) {
+    *os << "average data wait : " << report.recomputed_data_wait
+        << " buckets\n";
+  }
+  return Status::Ok();
+}
+
 Status CmdInfo(const FlagMap& flags, std::ostringstream* os) {
   auto tree = LoadTree(flags);
   if (!tree.ok()) return tree.status();
@@ -218,6 +250,8 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     status = CmdPlan(*flags, &os);
   } else if (args[0] == "eval") {
     status = CmdEval(*flags, &os);
+  } else if (args[0] == "verify") {
+    status = CmdVerify(*flags, &os);
   } else if (args[0] == "info") {
     status = CmdInfo(*flags, &os);
   } else {

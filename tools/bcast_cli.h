@@ -8,6 +8,10 @@
 //       simulates N client accesses and/or saves the program file.
 //   eval  --program <path> [--simulate N]
 //       loads a program file, validates it, prints its costs.
+//   verify --program <path>
+//       statically checks a program file against every allocation invariant
+//       (bijectivity, parent-before-child order, bounds, cycle length) and
+//       prints the full violation report; exits 1 if any violation is found.
 //   info  --tree <s-expr> | --tree-file <path>
 //       prints tree statistics (nodes, depth, weights, probe cost).
 //

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Lint runner: clang-format (diff mode) + clang-tidy over the library.
+#
+# Usage:
+#   tools/lint.sh [--fix] [--build-dir <dir>]
+#
+# --fix applies clang-format edits in place instead of failing on diffs.
+# clang-tidy needs a compile_commands.json; pass --build-dir pointing at a
+# CMake build configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (default:
+# ./build). Tools that are not installed are skipped with a notice rather
+# than failing, so the script degrades gracefully on minimal machines.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+FIX=0
+BUILD_DIR=build
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fix) FIX=1; shift ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+# Library sources only: generated files and third-party code are out of scope.
+mapfile -t FILES < <(find src tools tests bench examples \
+  \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) 2>/dev/null | sort)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "lint.sh: no sources found" >&2
+  exit 1
+fi
+
+STATUS=0
+
+if command -v clang-format >/dev/null 2>&1; then
+  if [[ $FIX -eq 1 ]]; then
+    clang-format -i "${FILES[@]}"
+  else
+    if ! clang-format --dry-run -Werror "${FILES[@]}"; then
+      echo "lint.sh: clang-format found style violations (rerun with --fix)" >&2
+      STATUS=1
+    fi
+  fi
+else
+  echo "lint.sh: clang-format not installed; skipping format check" >&2
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
+    CC_FILES=()
+    for f in "${FILES[@]}"; do
+      [[ $f == *.cc || $f == *.cpp ]] && CC_FILES+=("$f")
+    done
+    if ! clang-tidy -p "$BUILD_DIR" --quiet "${CC_FILES[@]}"; then
+      echo "lint.sh: clang-tidy reported findings" >&2
+      STATUS=1
+    fi
+  else
+    echo "lint.sh: $BUILD_DIR/compile_commands.json not found;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON to enable" \
+         "clang-tidy" >&2
+  fi
+else
+  echo "lint.sh: clang-tidy not installed; skipping static analysis" >&2
+fi
+
+exit $STATUS
