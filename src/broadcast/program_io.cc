@@ -1,6 +1,7 @@
 #include "broadcast/program_io.h"
 
-#include <cstdio>
+#include <cerrno>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -11,6 +12,40 @@
 namespace bcast {
 
 namespace {
+
+// Hard limits on untrusted program files. A program ships one broadcast
+// cycle, so these are generous for any real deployment while keeping a
+// hostile header ("slots 2000000000") from driving a multi-gigabyte grid
+// allocation, and a runaway line from being buffered whole.
+constexpr size_t kMaxLineLength = 1 << 20;   // 1 MiB per line
+constexpr long long kMaxChannels = 1 << 10;  // 1024 channels
+constexpr long long kMaxSlots = 1 << 20;     // ~1M slots per cycle
+constexpr long long kMaxGridCells = 1 << 22;  // channels x slots
+
+// Strictly parses "<keyword> <n>" with n in [1, max_value]: exactly two
+// tokens, no trailing junk, and out-of-int-range values (including ones that
+// would overflow) rejected with a Status instead of sscanf's undefined
+// behaviour.
+Result<int> ParseCount(const std::string& line, const std::string& keyword,
+                       long long max_value) {
+  std::istringstream is(line);
+  std::string word, value, extra;
+  if (!(is >> word) || word != keyword || !(is >> value) || (is >> extra)) {
+    return InvalidArgumentError("expected '" + keyword + " <n>'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    return InvalidArgumentError("'" + keyword + "' expects an integer, got '" +
+                                value + "'");
+  }
+  if (parsed < 1 || parsed > max_value) {
+    return OutOfRangeError("'" + keyword + "' must be in [1, " +
+                           std::to_string(max_value) + "], got " + value);
+  }
+  return static_cast<int>(parsed);
+}
 
 // Label -> node id; errors on empty or duplicate labels.
 Result<std::map<std::string, NodeId>> LabelIndex(const IndexTree& tree) {
@@ -66,29 +101,51 @@ Result<RawBroadcastProgram> ParseProgramLenient(const std::string& text) {
     return InvalidArgumentError("line " + std::to_string(line_number) + ": " +
                                 message);
   };
+  bool line_too_long = false;
   auto next_line = [&]() -> bool {
     while (std::getline(is, line)) {
       ++line_number;
+      if (line.size() > kMaxLineLength) {
+        line_too_long = true;
+        return false;
+      }
       if (!line.empty()) return true;
     }
     return false;
   };
+  // Wraps a missing-line diagnosis: a truncated file and an overlong line
+  // both stop the scan, but deserve different messages.
+  auto missing = [&](const std::string& what) {
+    if (line_too_long) {
+      return error("line exceeds " + std::to_string(kMaxLineLength) +
+                   " characters");
+    }
+    return error("truncated file: " + what);
+  };
 
-  if (!next_line() || line != "bcast-program v1") {
-    ++line_number;
+  if (!next_line()) return missing("expected header 'bcast-program v1'");
+  if (line != "bcast-program v1") {
     return error("expected header 'bcast-program v1'");
   }
 
-  int channels = 0, slots = 0;
-  if (!next_line() || std::sscanf(line.c_str(), "channels %d", &channels) != 1 ||
-      channels < 1) {
-    return error("expected 'channels <k>'");
+  if (!next_line()) return missing("expected 'channels <k>'");
+  auto channels_count = ParseCount(line, "channels", kMaxChannels);
+  if (!channels_count.ok()) return error(channels_count.status().message());
+  const int channels = *channels_count;
+
+  if (!next_line()) return missing("expected 'slots <n>'");
+  auto slots_count = ParseCount(line, "slots", kMaxSlots);
+  if (!slots_count.ok()) return error(slots_count.status().message());
+  const int slots = *slots_count;
+
+  if (static_cast<long long>(channels) * slots > kMaxGridCells) {
+    return error("grid of " + std::to_string(channels) + "x" +
+                 std::to_string(slots) + " buckets exceeds the " +
+                 std::to_string(kMaxGridCells) + "-cell limit");
   }
-  if (!next_line() || std::sscanf(line.c_str(), "slots %d", &slots) != 1 ||
-      slots < 1) {
-    return error("expected 'slots <n>'");
-  }
-  if (!next_line() || line.rfind("tree ", 0) != 0) {
+
+  if (!next_line()) return missing("expected 'tree <s-expression>'");
+  if (line.rfind("tree ", 0) != 0) {
     return error("expected 'tree <s-expression>'");
   }
   auto tree = ParseTree(line.substr(5));
@@ -103,7 +160,7 @@ Result<RawBroadcastProgram> ParseProgramLenient(const std::string& text) {
                   std::vector<NodeId>(static_cast<size_t>(slots), kInvalidNode));
   raw.row_line_numbers.assign(static_cast<size_t>(channels), 0);
   for (int c = 0; c < channels; ++c) {
-    if (!next_line()) return error("missing grid row C" + std::to_string(c + 1));
+    if (!next_line()) return missing("grid row C" + std::to_string(c + 1));
     raw.row_line_numbers[static_cast<size_t>(c)] = line_number;
     std::istringstream row(line);
     std::string cell;
@@ -127,6 +184,7 @@ Result<RawBroadcastProgram> ParseProgramLenient(const std::string& text) {
     }
   }
   if (next_line()) return error("unexpected trailing content");
+  if (line_too_long) return missing("trailing content");
   raw.tree = std::move(tree).value();
   return raw;
 }

@@ -21,6 +21,7 @@
 #include "broadcast/schedule.h"     // IWYU pragma: export
 #include "broadcast/schedule_builder.h"  // IWYU pragma: export
 #include "core/planner.h"           // IWYU pragma: export
+#include "fault/fault_model.h"      // IWYU pragma: export
 #include "sim/client_sim.h"         // IWYU pragma: export
 #include "sim/server_sim.h"         // IWYU pragma: export
 #include "tree/alphabetic.h"        // IWYU pragma: export

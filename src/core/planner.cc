@@ -107,8 +107,14 @@ Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
   if (!schedule.ok()) return schedule.status();
 
   BroadcastPlan plan{strategy, std::move(allocation),
-                     std::move(schedule).value(), AccessCosts{}};
+                     std::move(schedule).value(), AccessCosts{}, std::nullopt};
   plan.costs = ComputeAccessCosts(tree, plan.schedule);
+  if (options.replication.root_copies > 1) {
+    auto replicated = BuildReplicatedProgram(
+        tree, plan.allocation.slots, options.num_channels, options.replication);
+    if (!replicated.ok()) return replicated.status();
+    plan.replicated = std::move(replicated).value();
+  }
   // Debug builds verify the full plan: the channel-assigned schedule (cross-
   // checked against broadcast/cost.cc) and the strategy's claimed data wait.
   BCAST_DCHECK_OK(AllocationVerifier(tree).VerifySchedule(plan.schedule).ToStatus());

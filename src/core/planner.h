@@ -9,11 +9,13 @@
 #ifndef BCAST_CORE_PLANNER_H_
 #define BCAST_CORE_PLANNER_H_
 
+#include <optional>
 #include <string>
 
 #include "alloc/allocation.h"
 #include "alloc/heuristics.h"
 #include "alloc/optimal.h"
+#include "alloc/replication.h"
 #include "broadcast/cost.h"
 #include "broadcast/schedule.h"
 #include "tree/index_tree.h"
@@ -42,6 +44,11 @@ struct PlannerOptions {
   PlanStrategy strategy = PlanStrategy::kAuto;
   ShrinkOptions shrink;
   OptimalOptions optimal;
+  /// Index replication of the planned cycle. root_copies == 1 (the default)
+  /// plans the bare schedule; > 1 additionally materializes a replicated
+  /// program (BroadcastPlan::replicated), which shortens the probe wait and
+  /// gives the fault-recovery protocol earlier retry occurrences.
+  ReplicationOptions replication;
 };
 
 /// A complete broadcast program: allocation, channel assignment, and costs.
@@ -50,6 +57,8 @@ struct BroadcastPlan {
   AllocationResult allocation;
   BroadcastSchedule schedule;
   AccessCosts costs;
+  /// Present iff PlannerOptions::replication asked for extra index copies.
+  std::optional<ReplicatedProgram> replicated;
 };
 
 /// Plans one broadcast cycle. Errors propagate from the chosen algorithm

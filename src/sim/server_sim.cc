@@ -48,6 +48,9 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
   if (options.num_cycles < 1 || options.queries_per_cycle < 1) {
     return InvalidArgumentError("need at least one cycle and one query");
   }
+  if (options.max_delivery_attempts < 1) {
+    return InvalidArgumentError("need at least one delivery attempt");
+  }
   const int num_items = static_cast<int>(initial_true_weights.size());
   std::vector<double> true_weights = std::move(initial_true_weights);
 
@@ -74,7 +77,13 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
   BroadcastSchedule active_schedule = std::move(active->second);
   std::vector<NodeId> active_data = active_tree.DataNodes();
 
+  // Downlink faults draw from their own substream: a lossless run makes no
+  // fault draws, so its query sequence is bit-identical to the seed loop.
+  Rng fault_rng = rng->Substream(RngStream::kFault);
+  const bool faulty = options.faults.active();
+
   AdaptiveServerReport report;
+  report.mean_delivery_success = 0.0;
   for (int cycle = 0; cycle < options.num_cycles; ++cycle) {
     // Replan from the current estimates when due (never at cycle 0: the
     // initial plan is already in place).
@@ -87,15 +96,37 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
       active_data = active_tree.DataNodes();
     }
 
-    // Serve this cycle's queries from the TRUE distribution.
+    // Serve this cycle's queries from the TRUE distribution. Under a faulty
+    // downlink the client re-reads a lost/corrupted data bucket at the same
+    // slot of the next cycle, so every retry costs one full cycle; the
+    // realized wait is averaged over delivered queries only.
+    const int cycle_len = active_schedule.num_slots();
     double realized = 0.0;
+    int delivered = 0;
     for (int q = 0; q < options.queries_per_cycle; ++q) {
       int item = static_cast<int>(rng->WeightedIndex(true_weights));
-      realized += static_cast<double>(
-          active_schedule.DataWaitOf(active_data[static_cast<size_t>(item)]));
-      estimator.Observe(item);
+      NodeId node = active_data[static_cast<size_t>(item)];
+      estimator.Observe(item);  // the request itself always reaches the server
+      double wait = static_cast<double>(active_schedule.DataWaitOf(node));
+      if (faulty) {
+        SlotRef ref = active_schedule.placement(node);
+        FaultProcess medium(options.faults, &fault_rng);
+        int attempt = 0;
+        while (attempt < options.max_delivery_attempts &&
+               medium.Observe(ref.channel,
+                              ref.slot + static_cast<int64_t>(attempt) *
+                                             cycle_len) != BucketOutcome::kOk) {
+          ++attempt;
+        }
+        if (attempt == options.max_delivery_attempts) continue;  // undelivered
+        wait += static_cast<double>(attempt) * cycle_len;
+      }
+      realized += wait;
+      ++delivered;
     }
-    realized /= options.queries_per_cycle;
+    realized = delivered > 0 ? realized / delivered : 0.0;
+    const double delivery_rate =
+        static_cast<double>(delivered) / options.queries_per_cycle;
 
     // Oracle: replan from the true weights.
     auto oracle = replan(true_weights);
@@ -109,15 +140,18 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
     stats.oracle_data_wait = oracle_wait;
     stats.estimation_error =
         NormalizedEstimationError(estimator.EstimatedWeights(), true_weights);
+    stats.delivery_success_rate = delivery_rate;
     report.cycles.push_back(stats);
     report.mean_realized += realized;
     report.mean_oracle += oracle_wait;
+    report.mean_delivery_success += delivery_rate;
 
     estimator.EndEpoch();
     if (drift) drift(cycle, &true_weights);
   }
   report.mean_realized /= options.num_cycles;
   report.mean_oracle /= options.num_cycles;
+  report.mean_delivery_success /= options.num_cycles;
   return report;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/planner.h"
+#include "fault/fault_model.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -34,6 +35,15 @@ struct AdaptiveServerOptions {
   int replan_every = 1;
   /// Index fanout for the rebuilt alphabetic tree.
   int index_fanout = 4;
+  /// Downlink fault model: each served query's data bucket is subject to
+  /// loss, and an unusable bucket is retried on the next cycle (same slot one
+  /// cycle later), inflating the realized wait by one cycle per retry. The
+  /// default is a lossless medium; the uplink (request stream feeding the
+  /// estimator) is always assumed reliable.
+  FaultModel faults;
+  /// Per-query delivery attempts (1 + retries) before the query counts as
+  /// undelivered.
+  int max_delivery_attempts = 8;
 };
 
 /// Per-cycle outcome.
@@ -45,12 +55,17 @@ struct CycleStats {
   double oracle_data_wait = 0.0;
   /// Normalized estimator error against the true distribution.
   double estimation_error = 0.0;
+  /// Fraction of this cycle's queries whose data bucket was delivered within
+  /// the retry budget (1.0 on a lossless downlink).
+  double delivery_success_rate = 1.0;
 };
 
 struct AdaptiveServerReport {
   std::vector<CycleStats> cycles;
   double mean_realized = 0.0;
   double mean_oracle = 0.0;
+  /// Mean per-cycle delivery success (1.0 on a lossless downlink).
+  double mean_delivery_success = 1.0;
 };
 
 /// Mutates the true weights between cycles (popularity drift).

@@ -6,6 +6,23 @@
 
 namespace bcast {
 
+namespace {
+
+// SplitMix64 finalizer: a full-avalanche 64-bit mix, the standard way to
+// derive well-separated seeds from correlated inputs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::Substream(RngStream stream) const {
+  return Rng(Mix64(seed_ ^ Mix64(static_cast<uint64_t>(stream))));
+}
+
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   BCAST_CHECK_LE(lo, hi);
   uint64_t range = static_cast<uint64_t>(hi - lo) + 1;

@@ -15,13 +15,30 @@
 
 namespace bcast {
 
+/// Named substreams: logically independent random processes that share one
+/// user-facing seed. Drawing from one substream never perturbs another, so
+/// e.g. turning fault injection on (which consumes kFault draws) leaves the
+/// kQuery stream — and therefore every sampled query — bit-identical.
+enum class RngStream : uint64_t {
+  kQuery = 0x5175657279ull,  // workload/query sampling
+  kFault = 0x4661756c74ull,  // fault-injection draws (loss, corruption)
+  kTree = 0x54726565ull,     // random tree/input generation
+};
+
 /// Seedable PRNG with portable distribution helpers.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : seed_(seed), engine_(seed) {}
 
   /// Raw 64 uniform bits.
   uint64_t NextU64() { return engine_(); }
+
+  /// Derives the named substream of this generator. The derivation depends
+  /// only on the construction seed and the stream name — never on how many
+  /// draws have been made — so substreams are mutually independent and stable
+  /// no matter when they are forked.
+  Rng Substream(RngStream stream) const;
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   int64_t UniformInt(int64_t lo, int64_t hi);
@@ -53,6 +70,7 @@ class Rng {
   }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
   // Box–Muller produces values in pairs; cache the spare.
   bool has_spare_normal_ = false;

@@ -172,6 +172,103 @@ TEST(CliTest, TreeFileInput) {
   std::remove(path.c_str());
 }
 
+TEST(CliTest, SimulateLosslessReportsFullDelivery) {
+  std::string out;
+  int code = RunCommand({"simulate", "--tree", kExampleTree, "--channels", "2",
+                         "--queries", "5000"},
+                        &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("loss model        : none"), std::string::npos);
+  EXPECT_NE(out.find("success rate      : 100% (5000 delivered)"),
+            std::string::npos);
+  EXPECT_NE(out.find("faults observed   : 0 lost, 0 corrupted"),
+            std::string::npos);
+}
+
+TEST(CliTest, SimulateBernoulliLossEngagesRecovery) {
+  std::string out;
+  int code = RunCommand(
+      {"simulate", "--tree", kExampleTree, "--channels", "2", "--queries",
+       "5000", "--loss-model", "bernoulli", "--loss-rate", "0.1"},
+      &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("loss model        : bernoulli (stationary loss rate 10%"),
+            std::string::npos);
+  EXPECT_NE(out.find("access time tail  : p50 "), std::string::npos);
+  EXPECT_EQ(out.find("faults observed   : 0 lost"), std::string::npos) << out;
+}
+
+TEST(CliTest, SimulateAcceptsEqualsFlagSyntaxAndGilbertElliott) {
+  std::string out;
+  int code = RunCommand({"simulate", "--tree", kExampleTree,
+                         "--loss-model=gilbert-elliott", "--ge-good-to-bad=0.05",
+                         "--ge-bad-to-good=0.5", "--queries=2000"},
+                        &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("loss model        : gilbert-elliott"), std::string::npos);
+}
+
+TEST(CliTest, SimulateIsDeterministicUnderFixedSeed) {
+  std::vector<std::string> args = {
+      "simulate",     "--tree",     kExampleTree, "--channels", "2",
+      "--queries",    "3000",       "--seed",     "42",         "--loss-model",
+      "bernoulli",    "--loss-rate", "0.2"};
+  std::string first, second;
+  ASSERT_EQ(RunCommand(args, &first), 0) << first;
+  ASSERT_EQ(RunCommand(args, &second), 0);
+  EXPECT_EQ(first, second);
+}
+
+TEST(CliTest, SimulateWithReplicationReportsReplicaLayout) {
+  std::string out;
+  int code = RunCommand({"simulate", "--tree", kExampleTree, "--channels", "2",
+                         "--queries", "2000", "--replicate-copies", "2",
+                         "--loss-model", "bernoulli", "--loss-rate", "0.1"},
+                        &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("replication       : 2 copies"), std::string::npos);
+}
+
+TEST(CliTest, SimulateRejectsBadLossModelAndRates) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"simulate", "--tree", kExampleTree, "--loss-model",
+                        "solar-flare"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("unknown loss model"), std::string::npos);
+  EXPECT_EQ(RunCommand({"simulate", "--tree", kExampleTree, "--loss-model",
+                        "bernoulli", "--loss-rate", "1.5"},
+                       &out),
+            1);
+  EXPECT_EQ(RunCommand({"simulate", "--tree", kExampleTree, "--queries", "0"},
+                       &out),
+            1);
+}
+
+TEST(CliTest, SimulateRunsOnSavedProgramFile) {
+  std::string path = ::testing::TempDir() + "/cli_sim_program.txt";
+  std::string out;
+  ASSERT_EQ(RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                        "--strategy", "optimal", "--save", path},
+                       &out),
+            0);
+  std::string sim_out;
+  int code = RunCommand({"simulate", "--program", path, "--queries", "2000",
+                         "--loss-model", "bernoulli", "--loss-rate", "0.05"},
+                        &sim_out);
+  EXPECT_EQ(code, 0) << sim_out;
+  EXPECT_NE(sim_out.find("program           : "), std::string::npos);
+  // Replication needs a plan, not a frozen grid.
+  std::string repl_out;
+  EXPECT_EQ(RunCommand({"simulate", "--program", path, "--replicate-copies",
+                        "2"},
+                       &repl_out),
+            1);
+  EXPECT_NE(repl_out.find("--replicate-copies needs a --tree plan"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(CliTest, TreeAndTreeFileAreExclusive) {
   std::string out;
   EXPECT_EQ(

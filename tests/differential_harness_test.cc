@@ -23,6 +23,8 @@
 #include "alloc/optimal.h"
 #include "broadcast/cost.h"
 #include "broadcast/schedule_builder.h"
+#include "fault/fault_model.h"
+#include "sim/client_sim.h"
 #include "tree/builders.h"
 #include "util/rng.h"
 #include "verify/verifier.h"
@@ -80,6 +82,57 @@ TEST(DifferentialHarnessTest, RandomTreesOptimalVsHeuristicsVsFlat) {
     EXPECT_NEAR(AverageDataWait(tree, *schedule), opt, 1e-6);
     VerifyReport report = AllocationVerifier(tree).VerifySchedule(*schedule);
     EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+TEST(DifferentialHarnessTest, FaultInjectedSimulationLeavesScheduleVerified) {
+  // Fault injection lives entirely in the medium: however hard the simulated
+  // clients hammer the recovery ladder, the underlying allocation must still
+  // pass the same verifier gate as before the run, and the simulated means
+  // over *successful* accesses must stay consistent with the analytic costs
+  // (loss delays delivery, it never accelerates it).
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed * 0xA5A5A5A5u + 3);
+    Rng tree_rng = rng.Substream(RngStream::kTree);
+    IndexTree tree = MakeRandomTree(&tree_rng, 4 + static_cast<int>(seed % 5),
+                                    2 + static_cast<int>(seed % 3));
+    const int k = 1 + static_cast<int>(seed % 3);
+
+    auto optimal = FindOptimalAllocation(tree, k, OptimalOptions{});
+    ASSERT_TRUE(optimal.ok()) << optimal.status().ToString();
+    auto schedule = BuildScheduleFromSlots(tree, k, optimal->slots);
+    ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+    auto sim = ClientSimulator::Create(tree, *schedule);
+    ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+
+    ChannelLossSpec spec;
+    if (seed % 2 == 0) {
+      spec.kind = LossModelKind::kBernoulli;
+      spec.loss_prob = 0.15;
+      spec.corrupt_fraction = 0.25;
+    } else {
+      spec.kind = LossModelKind::kGilbertElliott;
+      spec.p_good_to_bad = 0.05;
+      spec.p_bad_to_good = 0.4;
+    }
+    SimOptions options;
+    options.num_queries = 4'000;
+    auto faults = FaultModel::CreateUniform(k, spec);
+    ASSERT_TRUE(faults.ok()) << faults.status().ToString();
+    options.faults = *faults;
+    SimReport report = sim->Run(&rng, options);
+
+    EXPECT_GT(report.success_rate, 0.9);
+    EXPECT_GT(report.buckets_lost + report.buckets_corrupted, 0u);
+    EXPECT_GE(report.mean_data_wait, 0.0);
+
+    VerifyReport verified = AllocationVerifier(tree).VerifySchedule(*schedule);
+    EXPECT_TRUE(verified.ok()) << verified.ToString();
+    // The lossy mean over successes can only sit at or above the lossless
+    // analytic expectation (retries add whole cycles, minus sampling noise).
+    EXPECT_GE(report.mean_data_wait,
+              0.8 * AverageDataWait(tree, *schedule) - 1.0);
   }
 }
 

@@ -1,0 +1,211 @@
+#include "fault/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bcast {
+namespace {
+
+ChannelLossSpec Bernoulli(double p, double corrupt_fraction = 0.0) {
+  ChannelLossSpec spec;
+  spec.kind = LossModelKind::kBernoulli;
+  spec.loss_prob = p;
+  spec.corrupt_fraction = corrupt_fraction;
+  return spec;
+}
+
+ChannelLossSpec GilbertElliott(double p_gb, double p_bg, double loss_good = 0.0,
+                               double loss_bad = 1.0) {
+  ChannelLossSpec spec;
+  spec.kind = LossModelKind::kGilbertElliott;
+  spec.p_good_to_bad = p_gb;
+  spec.p_bad_to_good = p_bg;
+  spec.loss_good = loss_good;
+  spec.loss_bad = loss_bad;
+  return spec;
+}
+
+TEST(ChannelLossSpecTest, ValidatesParameterRanges) {
+  EXPECT_TRUE(ChannelLossSpec{}.Validate().ok());
+  EXPECT_TRUE(Bernoulli(0.0).Validate().ok());
+  EXPECT_TRUE(Bernoulli(1.0).Validate().ok());
+  EXPECT_FALSE(Bernoulli(-0.1).Validate().ok());
+  EXPECT_FALSE(Bernoulli(1.1).Validate().ok());
+  EXPECT_FALSE(Bernoulli(0.5, 2.0).Validate().ok());
+
+  EXPECT_TRUE(GilbertElliott(0.05, 0.5).Validate().ok());
+  // Ergodicity: both transition probabilities must be strictly positive.
+  EXPECT_FALSE(GilbertElliott(0.0, 0.5).Validate().ok());
+  EXPECT_FALSE(GilbertElliott(0.05, 0.0).Validate().ok());
+  EXPECT_FALSE(GilbertElliott(0.05, 0.5, -0.2).Validate().ok());
+  EXPECT_FALSE(GilbertElliott(0.05, 0.5, 0.0, 1.5).Validate().ok());
+}
+
+TEST(ChannelLossSpecTest, StationaryFormulas) {
+  EXPECT_DOUBLE_EQ(Bernoulli(0.25).StationaryLossRate(), 0.25);
+  EXPECT_DOUBLE_EQ(Bernoulli(0.25).StationaryBadProbability(), 0.0);
+  EXPECT_DOUBLE_EQ(ChannelLossSpec{}.StationaryLossRate(), 0.0);
+
+  // pi_bad = p_gb / (p_gb + p_bg) = 0.05 / 0.55 = 1/11.
+  ChannelLossSpec ge = GilbertElliott(0.05, 0.5);
+  EXPECT_NEAR(ge.StationaryBadProbability(), 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(ge.StationaryLossRate(), 1.0 / 11.0, 1e-12);
+
+  // With partial per-state loss the rate blends the two states.
+  ChannelLossSpec soft = GilbertElliott(0.1, 0.4, 0.01, 0.6);
+  double pi_bad = 0.1 / 0.5;
+  EXPECT_NEAR(soft.StationaryLossRate(),
+              (1.0 - pi_bad) * 0.01 + pi_bad * 0.6, 1e-12);
+}
+
+TEST(ChannelLossSpecTest, ActiveOnlyWhenFaultsArePossible) {
+  EXPECT_FALSE(ChannelLossSpec{}.active());
+  EXPECT_FALSE(Bernoulli(0.0).active());
+  EXPECT_TRUE(Bernoulli(0.01).active());
+  EXPECT_TRUE(GilbertElliott(0.05, 0.5).active());
+}
+
+TEST(FaultModelTest, CreateRejectsInvalidSpecs) {
+  EXPECT_FALSE(FaultModel::Create({Bernoulli(2.0)}).ok());
+  EXPECT_FALSE(FaultModel::CreateUniform(3, GilbertElliott(0.0, 0.5)).ok());
+  EXPECT_FALSE(FaultModel::CreateUniform(0, Bernoulli(0.1)).ok());
+}
+
+TEST(FaultModelTest, ChannelsBeyondRangeAreLossless) {
+  auto model = FaultModel::CreateUniform(2, Bernoulli(0.5));
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_channels(), 2);
+  EXPECT_TRUE(model->channel(1).active());
+  EXPECT_FALSE(model->channel(2).active());
+  EXPECT_EQ(model->channel(7).kind, LossModelKind::kNone);
+}
+
+TEST(FaultProcessTest, InactiveModelMakesZeroRngDraws) {
+  FaultModel lossless;
+  Rng rng(42);
+  FaultProcess medium(lossless, &rng);
+  for (int64_t slot = 0; slot < 100; ++slot) {
+    EXPECT_EQ(medium.Observe(0, slot), BucketOutcome::kOk);
+  }
+  // The medium consumed nothing: the stream is still at its first draw.
+  EXPECT_EQ(rng.NextU64(), Rng(42).NextU64());
+}
+
+TEST(FaultProcessTest, BernoulliEmpiricalRateMatchesSpec) {
+  auto model = FaultModel::CreateUniform(1, Bernoulli(0.2));
+  ASSERT_TRUE(model.ok());
+  Rng rng(1234);
+  FaultProcess medium(*model, &rng);
+  const int64_t kDraws = 100'000;
+  int64_t faulted = 0;
+  for (int64_t slot = 0; slot < kDraws; ++slot) {
+    if (medium.Observe(0, slot) != BucketOutcome::kOk) ++faulted;
+  }
+  // 3-sigma band: sigma = sqrt(p(1-p)/n) ~ 0.00126.
+  EXPECT_NEAR(static_cast<double>(faulted) / kDraws, 0.2, 0.004);
+}
+
+TEST(FaultProcessTest, CorruptFractionSplitsFaultOutcomes) {
+  auto model = FaultModel::CreateUniform(1, Bernoulli(0.5, 0.5));
+  ASSERT_TRUE(model.ok());
+  Rng rng(99);
+  FaultProcess medium(*model, &rng);
+  int64_t lost = 0, corrupted = 0;
+  for (int64_t slot = 0; slot < 100'000; ++slot) {
+    switch (medium.Observe(0, slot)) {
+      case BucketOutcome::kLost: ++lost; break;
+      case BucketOutcome::kCorrupted: ++corrupted; break;
+      case BucketOutcome::kOk: break;
+    }
+  }
+  ASSERT_GT(lost + corrupted, 0);
+  double corrupt_share =
+      static_cast<double>(corrupted) / static_cast<double>(lost + corrupted);
+  EXPECT_NEAR(corrupt_share, 0.5, 0.01);
+}
+
+TEST(FaultProcessTest, GilbertElliottEmpiricalRateMatchesStationary) {
+  // Satellite acceptance: empirical loss rate over 1e5 sequential slots
+  // matches pi_good*loss_good + pi_bad*loss_bad within tolerance.
+  const std::vector<ChannelLossSpec> cases = {
+      GilbertElliott(0.05, 0.5),             // classic Gilbert, ~9.1% loss
+      GilbertElliott(0.02, 0.1, 0.01, 0.8),  // soft states, longer bursts
+  };
+  for (const ChannelLossSpec& spec : cases) {
+    auto model = FaultModel::CreateUniform(1, spec);
+    ASSERT_TRUE(model.ok());
+    Rng rng(5150);
+    FaultProcess medium(*model, &rng);
+    const int64_t kDraws = 100'000;
+    int64_t faulted = 0;
+    for (int64_t slot = 0; slot < kDraws; ++slot) {
+      if (medium.Observe(0, slot) != BucketOutcome::kOk) ++faulted;
+    }
+    double empirical = static_cast<double>(faulted) / kDraws;
+    // Burst correlation inflates the variance well beyond i.i.d., so the
+    // band is loose but still rejects e.g. a chain stuck in either state.
+    EXPECT_NEAR(empirical, spec.StationaryLossRate(),
+                0.1 * spec.StationaryLossRate() + 0.01)
+        << "p_gb=" << spec.p_good_to_bad << " p_bg=" << spec.p_bad_to_good;
+  }
+}
+
+TEST(FaultProcessTest, GilbertElliottBurstLengthsAreGeometric) {
+  // With loss_good = 0 and loss_bad = 1 every fault burst is exactly one Bad
+  // dwell, whose length is geometric with mean 1 / p_bad_to_good.
+  const double p_bg = 0.25;
+  auto model = FaultModel::CreateUniform(1, GilbertElliott(0.05, p_bg));
+  ASSERT_TRUE(model.ok());
+  Rng rng(8080);
+  FaultProcess medium(*model, &rng);
+  int64_t bursts = 0, burst_slots = 0, current = 0;
+  for (int64_t slot = 0; slot < 200'000; ++slot) {
+    if (medium.Observe(0, slot) != BucketOutcome::kOk) {
+      ++current;
+    } else if (current > 0) {
+      ++bursts;
+      burst_slots += current;
+      current = 0;
+    }
+  }
+  ASSERT_GT(bursts, 1000);
+  double mean_burst = static_cast<double>(burst_slots) / bursts;
+  EXPECT_NEAR(mean_burst, 1.0 / p_bg, 0.25);
+}
+
+TEST(FaultProcessTest, DeterministicUnderFixedSeed) {
+  auto model = FaultModel::CreateUniform(2, GilbertElliott(0.05, 0.5));
+  ASSERT_TRUE(model.ok());
+  std::vector<BucketOutcome> first, second;
+  for (std::vector<BucketOutcome>* out : {&first, &second}) {
+    Rng rng(321);
+    FaultProcess medium(*model, &rng);
+    for (int64_t slot = 0; slot < 5'000; ++slot) {
+      out->push_back(medium.Observe(static_cast<int>(slot % 2), slot));
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(RngSubstreamTest, SubstreamsAreStableAndIndependent) {
+  // Forking a substream must not depend on how many draws the parent made.
+  Rng parent(777);
+  Rng before = parent.Substream(RngStream::kFault);
+  for (int i = 0; i < 100; ++i) parent.NextU64();
+  Rng after = parent.Substream(RngStream::kFault);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(before.NextU64(), after.NextU64());
+
+  // Distinct stream names give distinct streams.
+  Rng query = Rng(777).Substream(RngStream::kQuery);
+  Rng fault = Rng(777).Substream(RngStream::kFault);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) differs |= (query.NextU64() != fault.NextU64());
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace bcast

@@ -97,6 +97,74 @@ TEST(ProgramIoTest, RejectsRowLengthMismatch) {
   EXPECT_FALSE(ParseProgram(base + "C1 r a .\n").ok());
 }
 
+TEST(ProgramIoTest, RejectsTruncatedFiles) {
+  // Every prefix of a valid program must fail with a "truncated" diagnosis,
+  // never crash or return a half-parsed program.
+  const std::string full =
+      "bcast-program v1\nchannels 1\nslots 3\ntree (r a:1 b:2)\nC1 r a b\n";
+  // (the final newline is optional, so the longest proper prefix parses)
+  for (size_t cut = 0; cut + 1 < full.size(); ++cut) {
+    auto program = ParseProgram(full.substr(0, cut));
+    ASSERT_FALSE(program.ok()) << "prefix of length " << cut << " parsed";
+  }
+  // The common truncation points carry the explicit diagnosis.
+  auto no_rows = ParseProgram("bcast-program v1\nchannels 1\nslots 3\n"
+                              "tree (r a:1 b:2)\n");
+  EXPECT_NE(no_rows.status().message().find("truncated"), std::string::npos);
+  auto no_slots = ParseProgram("bcast-program v1\nchannels 1\n");
+  EXPECT_NE(no_slots.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(ProgramIoTest, RejectsOverlongLines) {
+  // A line over the 1 MiB cap is rejected wherever it appears, including as
+  // trailing garbage after an otherwise valid program.
+  const std::string huge(static_cast<size_t>(2) << 20, 'x');
+  EXPECT_FALSE(ParseProgram(huge + "\n").ok());
+  const std::string valid =
+      "bcast-program v1\nchannels 1\nslots 3\ntree (r a:1 b:2)\nC1 r a b\n";
+  auto trailing = ParseProgram(valid + huge + "\n");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("exceeds"), std::string::npos);
+  auto mid = ParseProgram("bcast-program v1\n" + huge + "\n");
+  ASSERT_FALSE(mid.ok());
+  EXPECT_NE(mid.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST(ProgramIoTest, RejectsNonNumericAndOverflowingCounts) {
+  const std::string tail = "\nslots 3\ntree (r a:1 b:2)\nC1 r a b\n";
+  EXPECT_FALSE(ParseProgram("bcast-program v1\nchannels zero" + tail).ok());
+  EXPECT_FALSE(ParseProgram("bcast-program v1\nchannels 1x" + tail).ok());
+  EXPECT_FALSE(ParseProgram("bcast-program v1\nchannels" + tail).ok());
+  EXPECT_FALSE(ParseProgram("bcast-program v1\nchannels 1 1" + tail).ok());
+  EXPECT_FALSE(ParseProgram("bcast-program v1\nchannels 0" + tail).ok());
+  EXPECT_FALSE(ParseProgram("bcast-program v1\nchannels -3" + tail).ok());
+  // Values past INT64_MAX used to be undefined behaviour under sscanf; they
+  // must now fail cleanly, as must in-range values beyond the grid caps.
+  auto overflow = ParseProgram(
+      "bcast-program v1\nchannels 99999999999999999999999999" + tail);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_FALSE(ParseProgram("bcast-program v1\nchannels 2000000000" + tail).ok());
+  EXPECT_FALSE(
+      ParseProgram("bcast-program v1\nchannels 1\nslots 99999999999\n").ok());
+}
+
+TEST(ProgramIoTest, RejectsOversizedGridBeforeAllocating) {
+  // channels and slots are each under their own cap, but the product would
+  // demand a multi-gigabyte grid; the parser must refuse up front.
+  auto program = ParseProgram(
+      "bcast-program v1\nchannels 1024\nslots 1048576\ntree (r a:1)\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("cell limit"), std::string::npos);
+}
+
+TEST(ProgramIoTest, RejectsTrailingContent) {
+  const std::string valid =
+      "bcast-program v1\nchannels 1\nslots 3\ntree (r a:1 b:2)\nC1 r a b\n";
+  auto program = ParseProgram(valid + "C2 r a b\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("trailing"), std::string::npos);
+}
+
 TEST(ProgramIoTest, RejectsDuplicateLabelsOnFormat) {
   IndexTree tree;
   NodeId root = tree.AddIndexNode(kInvalidNode, "x");

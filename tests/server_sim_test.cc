@@ -126,11 +126,65 @@ TEST(AdaptiveServerTest, AdaptiveBeatsStaticUnderDrift) {
       << "replanning must beat the frozen schedule under drift";
 }
 
+TEST(AdaptiveServerTest, ZeroLossDownlinkMatchesLosslessRunExactly) {
+  // Configuring an inactive fault model must not perturb a single draw of
+  // the query stream: the two runs are bit-identical.
+  std::vector<double> weights = ZipfWeights(30, 1.0);
+  AdaptiveServerOptions lossless = SmallOptions();
+  AdaptiveServerOptions with_model = SmallOptions();
+  ChannelLossSpec zero;
+  zero.kind = LossModelKind::kBernoulli;
+  zero.loss_prob = 0.0;
+  auto model = FaultModel::CreateUniform(2, zero);
+  ASSERT_TRUE(model.ok());
+  with_model.faults = *model;
+
+  Rng rng_a(6), rng_b(6);
+  auto a = RunAdaptiveServer(weights, nullptr, &rng_a, lossless);
+  auto b = RunAdaptiveServer(weights, nullptr, &rng_b, with_model);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->cycles.size(), b->cycles.size());
+  for (size_t i = 0; i < a->cycles.size(); ++i) {
+    EXPECT_EQ(a->cycles[i].realized_data_wait, b->cycles[i].realized_data_wait);
+    EXPECT_EQ(a->cycles[i].estimation_error, b->cycles[i].estimation_error);
+    EXPECT_EQ(b->cycles[i].delivery_success_rate, 1.0);
+  }
+  EXPECT_EQ(a->mean_realized, b->mean_realized);
+  EXPECT_EQ(b->mean_delivery_success, 1.0);
+}
+
+TEST(AdaptiveServerTest, LossyDownlinkInflatesWaitAndReportsDeliveryRate) {
+  std::vector<double> weights = ZipfWeights(30, 1.0);
+  AdaptiveServerOptions lossy = SmallOptions();
+  ChannelLossSpec spec;
+  spec.kind = LossModelKind::kBernoulli;
+  spec.loss_prob = 0.2;
+  auto model = FaultModel::CreateUniform(2, spec);
+  ASSERT_TRUE(model.ok());
+  lossy.faults = *model;
+
+  Rng rng_a(7), rng_b(7);
+  auto clean = RunAdaptiveServer(weights, nullptr, &rng_a, SmallOptions());
+  auto faulty = RunAdaptiveServer(weights, nullptr, &rng_b, lossy);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(faulty.ok());
+  // Retries cost whole cycles, so the realized wait strictly grows; almost
+  // everything is still delivered within the 8-attempt budget.
+  EXPECT_GT(faulty->mean_realized, clean->mean_realized);
+  EXPECT_GT(faulty->mean_delivery_success, 0.99);
+  EXPECT_LE(faulty->mean_delivery_success, 1.0);
+}
+
 TEST(AdaptiveServerTest, RejectsBadOptions) {
   Rng rng(4);
   EXPECT_FALSE(RunAdaptiveServer({}, nullptr, &rng, SmallOptions()).ok());
   AdaptiveServerOptions options = SmallOptions();
   options.num_cycles = 0;
+  EXPECT_FALSE(
+      RunAdaptiveServer(ZipfWeights(10, 1.0), nullptr, &rng, options).ok());
+  options = SmallOptions();
+  options.max_delivery_attempts = 0;
   EXPECT_FALSE(
       RunAdaptiveServer(ZipfWeights(10, 1.0), nullptr, &rng, options).ok());
 }

@@ -53,8 +53,11 @@ TEST(ClientSimTest, ConvergesToAnalyticCostsOnPaperExample) {
 TEST(ClientSimTest, IndexedClientListensToFarFewerBucketsThanItWaits) {
   // The power-saving argument of the paper's introduction: with an index,
   // tuning time (energy) is much smaller than access time (latency).
+  // Tree generation and query sampling live on separate substreams, so
+  // changing one (e.g. simulating more queries) never reshapes the other.
   Rng rng(616);
-  IndexTree tree = MakeRandomTree(&rng, 30, 3);
+  Rng tree_rng = rng.Substream(RngStream::kTree);
+  IndexTree tree = MakeRandomTree(&tree_rng, 30, 3);
   BroadcastPlan plan = MustPlan(tree, 2, PlanStrategy::kSorting);
   auto sim = ClientSimulator::Create(tree, plan.schedule);
   ASSERT_TRUE(sim.ok());
@@ -66,7 +69,8 @@ TEST(ClientSimTest, IndexedClientListensToFarFewerBucketsThanItWaits) {
 
 TEST(ClientSimTest, WorksAcrossStrategiesAndChannels) {
   Rng rng(717);
-  IndexTree tree = MakeRandomTree(&rng, 12, 3);
+  Rng tree_rng = rng.Substream(RngStream::kTree);
+  IndexTree tree = MakeRandomTree(&tree_rng, 12, 3);
   for (PlanStrategy strategy :
        {PlanStrategy::kSorting, PlanStrategy::kShrinking,
         PlanStrategy::kGreedyWeight, PlanStrategy::kPreorder}) {

@@ -18,24 +18,39 @@ constexpr char kUsage[] =
     "  bcastctl plan --tree <s-expr>|--tree-file <path> [--channels k]\n"
     "                [--strategy auto|optimal|sorting|shrinking|level|\n"
     "                 preorder|greedy-weight] [--simulate N] [--save <path>]\n"
+    "  bcastctl simulate --tree <s-expr>|--tree-file <path>|--program <path>\n"
+    "                [--channels k] [--strategy ...] [--queries N] [--seed S]\n"
+    "                [--replicate-copies R] [--replicate-levels L]\n"
+    "                [--loss-model none|bernoulli|gilbert-elliott]\n"
+    "                [--loss-rate p] [--corrupt-fraction f]\n"
+    "                [--ge-good-to-bad p] [--ge-bad-to-good p]\n"
+    "                [--ge-loss-good p] [--ge-loss-bad p]\n"
+    "                [--retries n] [--restarts n] [--scan-passes n]\n"
     "  bcastctl eval --program <path> [--simulate N]\n"
     "  bcastctl verify --program <path>\n"
     "  bcastctl info --tree <s-expr>|--tree-file <path>\n";
 
-// Parsed --flag value pairs. Every flag takes exactly one value.
+// Parsed flag/value pairs; accepts both "--flag value" and "--flag=value".
 class FlagMap {
  public:
   static Result<FlagMap> Parse(const std::vector<std::string>& args,
                                size_t start) {
     FlagMap flags;
-    for (size_t i = start; i < args.size(); i += 2) {
+    for (size_t i = start; i < args.size(); ++i) {
       if (args[i].rfind("--", 0) != 0) {
         return InvalidArgumentError("expected a --flag, got '" + args[i] + "'");
+      }
+      size_t equals = args[i].find('=');
+      if (equals != std::string::npos) {
+        flags.values_[args[i].substr(2, equals - 2)] =
+            args[i].substr(equals + 1);
+        continue;
       }
       if (i + 1 >= args.size()) {
         return InvalidArgumentError("flag " + args[i] + " is missing a value");
       }
       flags.values_[args[i].substr(2)] = args[i + 1];
+      ++i;
     }
     return flags;
   }
@@ -57,6 +72,18 @@ class FlagMap {
                                   *value + "'");
     }
     return static_cast<int>(parsed);
+  }
+
+  Result<double> GetDouble(const std::string& name, double default_value) const {
+    auto value = Get(name);
+    if (!value.has_value()) return default_value;
+    char* end = nullptr;
+    double parsed = std::strtod(value->c_str(), &end);
+    if (end == value->c_str() || *end != '\0') {
+      return InvalidArgumentError("--" + name + " expects a number, got '" +
+                                  *value + "'");
+    }
+    return parsed;
   }
 
  private:
@@ -165,6 +192,143 @@ Status CmdPlan(const FlagMap& flags, std::ostringstream* os) {
   return Status::Ok();
 }
 
+Result<LossModelKind> ParseLossModel(const std::string& name) {
+  if (name == "none") return LossModelKind::kNone;
+  if (name == "bernoulli") return LossModelKind::kBernoulli;
+  if (name == "gilbert-elliott") return LossModelKind::kGilbertElliott;
+  return InvalidArgumentError("unknown loss model '" + name + "'");
+}
+
+// Builds the (uniform) per-channel fault model from --loss-* flags.
+Result<FaultModel> LoadFaultModel(const FlagMap& flags, int num_channels) {
+  auto kind = ParseLossModel(flags.Get("loss-model").value_or("none"));
+  if (!kind.ok()) return kind.status();
+  ChannelLossSpec spec;
+  spec.kind = *kind;
+  auto loss_rate = flags.GetDouble("loss-rate", 0.1);
+  auto corrupt = flags.GetDouble("corrupt-fraction", 0.0);
+  auto good_to_bad = flags.GetDouble("ge-good-to-bad", 0.05);
+  auto bad_to_good = flags.GetDouble("ge-bad-to-good", 0.5);
+  auto loss_good = flags.GetDouble("ge-loss-good", 0.0);
+  auto loss_bad = flags.GetDouble("ge-loss-bad", 1.0);
+  if (!loss_rate.ok()) return loss_rate.status();
+  if (!corrupt.ok()) return corrupt.status();
+  if (!good_to_bad.ok()) return good_to_bad.status();
+  if (!bad_to_good.ok()) return bad_to_good.status();
+  if (!loss_good.ok()) return loss_good.status();
+  if (!loss_bad.ok()) return loss_bad.status();
+  spec.loss_prob = *loss_rate;
+  spec.corrupt_fraction = *corrupt;
+  spec.p_good_to_bad = *good_to_bad;
+  spec.p_bad_to_good = *bad_to_good;
+  spec.loss_good = *loss_good;
+  spec.loss_bad = *loss_bad;
+  return FaultModel::CreateUniform(num_channels, spec);
+}
+
+Status CmdSimulate(const FlagMap& flags, std::ostringstream* os) {
+  SimOptions sim_options;
+  auto queries = flags.GetInt("queries", 100'000);
+  if (!queries.ok()) return queries.status();
+  if (*queries < 1) return InvalidArgumentError("--queries must be >= 1");
+  sim_options.num_queries = static_cast<uint64_t>(*queries);
+  auto seed = flags.GetInt("seed", 0xC11);
+  if (!seed.ok()) return seed.status();
+  auto retries = flags.GetInt("retries", sim_options.recovery.max_retries_per_hop);
+  auto restarts = flags.GetInt("restarts", sim_options.recovery.max_cycle_restarts);
+  auto scans = flags.GetInt("scan-passes", sim_options.recovery.max_scan_passes);
+  if (!retries.ok()) return retries.status();
+  if (!restarts.ok()) return restarts.status();
+  if (!scans.ok()) return scans.status();
+  sim_options.recovery.max_retries_per_hop = *retries;
+  sim_options.recovery.max_cycle_restarts = *restarts;
+  sim_options.recovery.max_scan_passes = *scans;
+
+  auto copies = flags.GetInt("replicate-copies", 1);
+  auto levels = flags.GetInt("replicate-levels", 1);
+  if (!copies.ok()) return copies.status();
+  if (!levels.ok()) return levels.status();
+
+  // The program under test: a saved file, or a plan built on the fly.
+  std::optional<Result<ClientSimulator>> sim;
+  IndexTree tree;
+  int num_channels = 0;
+  if (auto path = flags.Get("program"); path.has_value()) {
+    if (*copies > 1) {
+      return InvalidArgumentError(
+          "--replicate-copies needs a --tree plan (program files carry a "
+          "fixed grid)");
+    }
+    auto text = ReadFile(*path);
+    if (!text.ok()) return text.status();
+    auto program = ParseProgram(*text);
+    if (!program.ok()) return program.status();
+    tree = std::move(program->tree);
+    num_channels = program->schedule.num_channels();
+    *os << "program           : " << *path << "\n";
+    sim.emplace(ClientSimulator::Create(tree, program->schedule));
+  } else {
+    auto loaded = LoadTree(flags);
+    if (!loaded.ok()) return loaded.status();
+    tree = std::move(loaded).value();
+    PlannerOptions options;
+    auto channels = flags.GetInt("channels", 1);
+    if (!channels.ok()) return channels.status();
+    options.num_channels = num_channels = *channels;
+    auto strategy = ParseStrategy(flags.Get("strategy").value_or("auto"));
+    if (!strategy.ok()) return strategy.status();
+    options.strategy = *strategy;
+    options.replication.root_copies = *copies;
+    options.replication.replicate_levels = *levels;
+    auto plan = PlanBroadcast(tree, options);
+    if (!plan.ok()) return plan.status();
+    *os << "strategy          : " << PlanStrategyName(plan->strategy_used)
+        << "\n";
+    if (plan->replicated.has_value()) {
+      *os << "replication       : " << *copies << " copies of the top "
+          << *levels << " index level(s), cycle "
+          << plan->replicated->cycle_length << " slots\n";
+      sim.emplace(ClientSimulator::Create(tree, *plan->replicated));
+    } else {
+      sim.emplace(ClientSimulator::Create(tree, plan->schedule));
+    }
+  }
+  if (!sim->ok()) return sim->status();
+
+  auto faults = LoadFaultModel(flags, num_channels);
+  if (!faults.ok()) return faults.status();
+  sim_options.faults = *faults;
+  const ChannelLossSpec& spec = faults->channel(0);
+  *os << "loss model        : " << LossModelKindName(spec.kind);
+  if (spec.kind != LossModelKind::kNone) {
+    *os << " (stationary loss rate " << 100.0 * spec.StationaryLossRate()
+        << "%, corrupt fraction " << 100.0 * spec.corrupt_fraction << "%)";
+  }
+  *os << "\n";
+
+  Rng rng(static_cast<uint64_t>(*seed));
+  SimReport report = (*sim)->Run(&rng, sim_options);
+  *os << "queries           : " << report.num_queries << " (seed " << *seed
+      << ")\n";
+  *os << "success rate      : " << 100.0 * report.success_rate << "% ("
+      << report.num_succeeded << " delivered)\n";
+  *os << "mean access time  : " << report.mean_access_time
+      << " buckets (probe " << report.mean_probe_wait << ", data wait "
+      << report.mean_data_wait << ")\n";
+  *os << "access time tail  : p50 " << report.p50_access_time << ", p95 "
+      << report.p95_access_time << ", p99 " << report.p99_access_time
+      << " buckets\n";
+  *os << "mean tuning       : " << report.mean_tuning_time
+      << " buckets, dozing " << 100.0 * (1.0 - report.listen_fraction)
+      << "% of the time\n";
+  *os << "faults observed   : " << report.buckets_lost << " lost, "
+      << report.buckets_corrupted << " corrupted\n";
+  *os << "recovery          : " << report.retries << " retries, "
+      << report.cycle_restarts << " cycle restarts, "
+      << report.sequential_scans << " sequential scans\n";
+  return Status::Ok();
+}
+
 Status CmdEval(const FlagMap& flags, std::ostringstream* os) {
   auto path = flags.Get("program");
   if (!path.has_value()) return InvalidArgumentError("--program is required");
@@ -248,6 +412,8 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
   }
   if (args[0] == "plan") {
     status = CmdPlan(*flags, &os);
+  } else if (args[0] == "simulate") {
+    status = CmdSimulate(*flags, &os);
   } else if (args[0] == "eval") {
     status = CmdEval(*flags, &os);
   } else if (args[0] == "verify") {
