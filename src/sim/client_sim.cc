@@ -162,12 +162,16 @@ ClientSimulator::QueryOutcome ClientSimulator::AccessOnce(
   int64_t finish = -1;
   int restarts = 0;
   size_t hop = 0;
+  // Last slot the medium was observed at during the descent. Failed retries
+  // push it past `p` (the slot after the last *successful* read), and the
+  // fault process requires per-channel observations to move forward in time,
+  // so every later phase must resume at or after this slot.
+  int64_t last_abs = p - 1;
   bool walking = probe_ok;
   while (walking && finish < 0) {
     NodeId node = path[hop];
     int failures = 0;
     int64_t t = p;
-    int64_t last_abs = p;
     bool advanced = false;
     while (true) {
       int64_t abs = 0;
@@ -215,7 +219,7 @@ ClientSimulator::QueryOutcome ClientSimulator::AccessOnce(
   int64_t scan_start = -1;
   if (finish < 0) {
     ++report->sequential_scans;
-    scan_start = NextCycleStart(p);
+    scan_start = NextCycleStart(std::max(p, last_abs + 1));
     for (int pass = 0; pass < recovery.max_scan_passes && finish < 0; ++pass) {
       for (int c = 0; c < num_channels_ && finish < 0; ++c) {
         if (c != last_channel) {

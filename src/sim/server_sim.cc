@@ -1,5 +1,6 @@
 #include "sim/server_sim.h"
 
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -84,6 +85,7 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
 
   AdaptiveServerReport report;
   report.mean_delivery_success = 0.0;
+  int delivered_cycles = 0;
   for (int cycle = 0; cycle < options.num_cycles; ++cycle) {
     // Replan from the current estimates when due (never at cycle 0: the
     // initial plan is already in place).
@@ -124,7 +126,17 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
       realized += wait;
       ++delivered;
     }
-    realized = delivered > 0 ? realized / delivered : 0.0;
+    // A cycle that delivered nothing has no realized wait — averaging in 0
+    // (the best possible wait) would flatter the mean exactly when the
+    // downlink is at its worst, so such cycles report NaN and are excluded
+    // from mean_realized.
+    if (delivered > 0) {
+      realized /= delivered;
+      report.mean_realized += realized;
+      ++delivered_cycles;
+    } else {
+      realized = std::numeric_limits<double>::quiet_NaN();
+    }
     const double delivery_rate =
         static_cast<double>(delivered) / options.queries_per_cycle;
 
@@ -142,14 +154,15 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
         NormalizedEstimationError(estimator.EstimatedWeights(), true_weights);
     stats.delivery_success_rate = delivery_rate;
     report.cycles.push_back(stats);
-    report.mean_realized += realized;
     report.mean_oracle += oracle_wait;
     report.mean_delivery_success += delivery_rate;
 
     estimator.EndEpoch();
     if (drift) drift(cycle, &true_weights);
   }
-  report.mean_realized /= options.num_cycles;
+  report.mean_realized =
+      delivered_cycles > 0 ? report.mean_realized / delivered_cycles
+                           : std::numeric_limits<double>::quiet_NaN();
   report.mean_oracle /= options.num_cycles;
   report.mean_delivery_success /= options.num_cycles;
   return report;

@@ -49,7 +49,8 @@ struct AdaptiveServerOptions {
 /// Per-cycle outcome.
 struct CycleStats {
   int cycle = 0;
-  /// Mean data wait realized by this cycle's queries on the active schedule.
+  /// Mean data wait realized by this cycle's *delivered* queries on the
+  /// active schedule; NaN when the cycle delivered nothing.
   double realized_data_wait = 0.0;
   /// Expected data wait of an oracle plan built from the true weights.
   double oracle_data_wait = 0.0;
@@ -62,6 +63,8 @@ struct CycleStats {
 
 struct AdaptiveServerReport {
   std::vector<CycleStats> cycles;
+  /// Mean realized data wait over cycles that delivered at least one query;
+  /// NaN when no cycle delivered anything.
   double mean_realized = 0.0;
   double mean_oracle = 0.0;
   /// Mean per-cycle delivery success (1.0 on a lossless downlink).

@@ -245,6 +245,23 @@ TEST(CliTest, SimulateRejectsBadLossModelAndRates) {
             1);
 }
 
+TEST(CliTest, SimulateRejectsNegativeRecoveryBudgets) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"simulate", "--tree", kExampleTree, "--retries", "-1"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("--retries must be >= 0"), std::string::npos) << out;
+  EXPECT_EQ(RunCommand({"simulate", "--tree", kExampleTree, "--restarts", "-1"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("--restarts must be >= 0"), std::string::npos) << out;
+  EXPECT_EQ(RunCommand({"simulate", "--tree", kExampleTree, "--scan-passes",
+                        "-1"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("--scan-passes must be >= 0"), std::string::npos) << out;
+}
+
 TEST(CliTest, SimulateRunsOnSavedProgramFile) {
   std::string path = ::testing::TempDir() + "/cli_sim_program.txt";
   std::string out;

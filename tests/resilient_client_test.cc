@@ -189,6 +189,36 @@ TEST(ResilientClientTest, HeavyLossDegradesToSequentialScan) {
   EXPECT_GT(report.success_rate, 0.5);
 }
 
+TEST(ResilientClientTest, GilbertElliottBurstLossSurvivesScanFallback) {
+  // Regression: a hop that exhausts its retries has already observed its
+  // channel past the last successful read. The restart backoff and the
+  // sequential scan must resume at or after that slot — the Gilbert–Elliott
+  // per-channel state enforces forward-only observations and aborts the
+  // process on any rewind. loss_bad = 1 with a tight recovery budget forces
+  // both the restart and the scan path under bursty loss.
+  IndexTree tree = MakePaperExampleTree();
+  BroadcastPlan plan = MustPlan(tree, 2);
+  auto sim = ClientSimulator::Create(tree, plan.schedule);
+  ASSERT_TRUE(sim.ok());
+
+  SimOptions options;
+  options.num_queries = 2'000;
+  options.recovery.max_retries_per_hop = 1;
+  options.recovery.max_cycle_restarts = 1;
+  ChannelLossSpec spec;
+  spec.kind = LossModelKind::kGilbertElliott;
+  spec.p_good_to_bad = 0.3;
+  spec.p_bad_to_good = 0.05;
+  spec.loss_good = 0.0;
+  spec.loss_bad = 1.0;  // a burst wipes out every bucket until it ends
+  options.faults = MustUniform(2, spec);
+  Rng rng(2718);
+  SimReport report = sim->Run(&rng, options);
+  EXPECT_GT(report.cycle_restarts, 0u);
+  EXPECT_GT(report.sequential_scans, 0u);
+  EXPECT_GT(report.num_succeeded, 0u);
+}
+
 TEST(ResilientClientTest, TotalLossExhaustsEveryFallback) {
   IndexTree tree = MakePaperExampleTree();
   BroadcastPlan plan = MustPlan(tree, 2);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "workload/frequency.h"
 #include "workload/weights.h"
@@ -174,6 +175,32 @@ TEST(AdaptiveServerTest, LossyDownlinkInflatesWaitAndReportsDeliveryRate) {
   EXPECT_GT(faulty->mean_realized, clean->mean_realized);
   EXPECT_GT(faulty->mean_delivery_success, 0.99);
   EXPECT_LE(faulty->mean_delivery_success, 1.0);
+}
+
+TEST(AdaptiveServerTest, UndeliveredCyclesAreExcludedFromMeanRealized) {
+  // A downlink that drops everything delivers no query at all; the realized
+  // wait of such a cycle is undefined (NaN), not 0 — averaging in 0 would
+  // report the best possible wait for the worst possible medium.
+  std::vector<double> weights = ZipfWeights(20, 1.0);
+  AdaptiveServerOptions dead = SmallOptions();
+  dead.num_cycles = 3;
+  dead.queries_per_cycle = 50;
+  ChannelLossSpec spec;
+  spec.kind = LossModelKind::kBernoulli;
+  spec.loss_prob = 1.0;
+  auto model = FaultModel::CreateUniform(2, spec);
+  ASSERT_TRUE(model.ok());
+  dead.faults = *model;
+
+  Rng rng(8);
+  auto report = RunAdaptiveServer(weights, nullptr, &rng, dead);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->mean_delivery_success, 0.0);
+  for (const CycleStats& stats : report->cycles) {
+    EXPECT_TRUE(std::isnan(stats.realized_data_wait));
+    EXPECT_EQ(stats.delivery_success_rate, 0.0);
+  }
+  EXPECT_TRUE(std::isnan(report->mean_realized));
 }
 
 TEST(AdaptiveServerTest, RejectsBadOptions) {

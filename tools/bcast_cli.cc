@@ -240,6 +240,9 @@ Status CmdSimulate(const FlagMap& flags, std::ostringstream* os) {
   if (!retries.ok()) return retries.status();
   if (!restarts.ok()) return restarts.status();
   if (!scans.ok()) return scans.status();
+  if (*retries < 0) return InvalidArgumentError("--retries must be >= 0");
+  if (*restarts < 0) return InvalidArgumentError("--restarts must be >= 0");
+  if (*scans < 0) return InvalidArgumentError("--scan-passes must be >= 0");
   sim_options.recovery.max_retries_per_hop = *retries;
   sim_options.recovery.max_cycle_restarts = *restarts;
   sim_options.recovery.max_scan_passes = *scans;
