@@ -1,0 +1,238 @@
+// Parallel search scaling: the work-stealing branch-and-bound of
+// src/exec/parallel_search.h against the single-threaded engine, on a
+// threads x instance-size grid of Table-1-class inputs (full balanced m-ary
+// index trees, uniform random data weights, k = 2/3 channels — the regime
+// where the exact search is affordable but not trivial).
+//
+// For every cell the benchmark verifies the parallel allocation is
+// byte-identical to TopoTreeSearch::FindOptimalDfs before timing counts;
+// a mismatch is a hard failure (exit 1), because the determinism contract is
+// the whole point of the engine.
+//
+// Usage: bench_parallel_search [--json[=path]] [--repeats N]
+//   --json     additionally writes the machine-readable report (schema in
+//              docs/FORMATS.md) to BENCH_parallel_search.json or `path`.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "alloc/topo_parallel.h"
+#include "alloc/topo_search.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+#include "workload/weights.h"
+
+namespace {
+
+using bcast::AllocationResult;
+using bcast::IndexTree;
+using bcast::TopoTreeSearch;
+
+constexpr int kThreadGrid[] = {1, 2, 4, 8};
+
+struct RunCell {
+  int threads = 0;
+  double seconds = 0.0;
+  uint64_t nodes_expanded = 0;
+  double expansions_per_sec = 0.0;
+  double speedup_vs_1 = 0.0;
+  bool matches_single_threaded = false;
+};
+
+struct InstanceReport {
+  std::string name;
+  int fanout = 0;
+  int depth = 0;
+  int num_nodes = 0;
+  int channels = 0;
+  double adw = 0.0;
+  std::vector<RunCell> runs;
+};
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+bool RunInstance(int fanout, int depth, int channels, int repeats,
+                 std::vector<InstanceReport>* reports) {
+  int leaves = 1;
+  for (int level = 1; level < depth; ++level) leaves *= fanout;
+  bcast::Rng rng(0xBE7Cu + static_cast<uint64_t>(fanout * 100 + channels));
+  std::vector<double> weights = bcast::UniformWeights(&rng, leaves, 1.0, 100.0);
+  auto tree = bcast::MakeFullBalancedTree(fanout, depth, weights);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "tree: %s\n", tree.status().ToString().c_str());
+    return false;
+  }
+
+  TopoTreeSearch::Options options;
+  options.num_channels = channels;
+  options.prune_candidates = true;
+  options.prune_local_swap = true;
+  auto search = TopoTreeSearch::Create(*tree, options);
+  if (!search.ok()) {
+    std::fprintf(stderr, "search: %s\n", search.status().ToString().c_str());
+    return false;
+  }
+  auto reference = search->FindOptimalDfs();
+  if (!reference.ok()) {
+    std::fprintf(stderr, "dfs: %s\n", reference.status().ToString().c_str());
+    return false;
+  }
+
+  InstanceReport report;
+  report.name = "m" + std::to_string(fanout) + "_d" + std::to_string(depth) +
+                "_k" + std::to_string(channels);
+  report.fanout = fanout;
+  report.depth = depth;
+  report.num_nodes = tree->num_nodes();
+  report.channels = channels;
+  report.adw = reference->average_data_wait;
+
+  double baseline_seconds = 0.0;
+  for (int threads : kThreadGrid) {
+    RunCell cell;
+    cell.threads = threads;
+    cell.seconds = -1.0;
+    cell.matches_single_threaded = true;
+    for (int rep = 0; rep < repeats; ++rep) {
+      auto begin = std::chrono::steady_clock::now();
+      auto parallel = bcast::FindOptimalTopoParallel(*search, threads);
+      auto end = std::chrono::steady_clock::now();
+      if (!parallel.ok()) {
+        std::fprintf(stderr, "parallel(threads=%d): %s\n", threads,
+                     parallel.status().ToString().c_str());
+        return false;
+      }
+      if (parallel->slots != reference->slots ||
+          parallel->average_data_wait != reference->average_data_wait) {
+        cell.matches_single_threaded = false;
+      }
+      double seconds = Seconds(begin, end);
+      if (cell.seconds < 0.0 || seconds < cell.seconds) {
+        cell.seconds = seconds;  // best-of-repeats
+        cell.nodes_expanded = parallel->stats.nodes_expanded;
+      }
+    }
+    cell.expansions_per_sec =
+        cell.seconds > 0.0 ? static_cast<double>(cell.nodes_expanded) / cell.seconds
+                           : 0.0;
+    if (threads == 1) baseline_seconds = cell.seconds;
+    cell.speedup_vs_1 =
+        cell.seconds > 0.0 && baseline_seconds > 0.0
+            ? baseline_seconds / cell.seconds
+            : 0.0;
+    if (!cell.matches_single_threaded) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %s threads=%d diverged from the "
+                   "single-threaded allocation\n",
+                   report.name.c_str(), threads);
+      return false;
+    }
+    report.runs.push_back(cell);
+  }
+  reports->push_back(std::move(report));
+  return true;
+}
+
+void PrintTable(const std::vector<InstanceReport>& reports) {
+  std::printf("%-10s %6s %3s | %7s %9s %12s %14s %8s\n", "instance", "nodes",
+              "k", "threads", "time(s)", "expansions", "expansions/s",
+              "speedup");
+  for (const InstanceReport& report : reports) {
+    for (const RunCell& cell : report.runs) {
+      std::printf("%-10s %6d %3d | %7d %9.4f %12llu %14.0f %8.2f\n",
+                  report.name.c_str(), report.num_nodes, report.channels,
+                  cell.threads, cell.seconds,
+                  static_cast<unsigned long long>(cell.nodes_expanded),
+                  cell.expansions_per_sec, cell.speedup_vs_1);
+    }
+  }
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<InstanceReport>& reports) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  char buffer[64];
+  auto number = [&buffer](double value) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return std::string(buffer);
+  };
+  out << "{\n  \"bench\": \"parallel_search\",\n  \"instances\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const InstanceReport& report = reports[i];
+    out << "    {\n"
+        << "      \"name\": \"" << report.name << "\",\n"
+        << "      \"fanout\": " << report.fanout << ",\n"
+        << "      \"depth\": " << report.depth << ",\n"
+        << "      \"num_nodes\": " << report.num_nodes << ",\n"
+        << "      \"channels\": " << report.channels << ",\n"
+        << "      \"adw\": " << number(report.adw) << ",\n"
+        << "      \"runs\": [\n";
+    for (size_t j = 0; j < report.runs.size(); ++j) {
+      const RunCell& cell = report.runs[j];
+      out << "        {\"threads\": " << cell.threads
+          << ", \"seconds\": " << number(cell.seconds)
+          << ", \"nodes_expanded\": " << cell.nodes_expanded
+          << ", \"expansions_per_sec\": " << number(cell.expansions_per_sec)
+          << ", \"speedup_vs_1\": " << number(cell.speedup_vs_1)
+          << ", \"matches_single_threaded\": "
+          << (cell.matches_single_threaded ? "true" : "false") << "}"
+          << (j + 1 < report.runs.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path = "BENCH_parallel_search.json";
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+      if (repeats < 1) repeats = 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel_search [--json[=path]] [--repeats N]\n");
+      return 2;
+    }
+  }
+
+  // Instance-size grid: depth-3 full balanced trees (1 + m + m^2 nodes).
+  // m = 4, k = 2 is the hardest cell; bigger fanouts blow past the exact
+  // regime the paper itself stays in (Section 4.1).
+  std::vector<InstanceReport> reports;
+  const std::pair<int, int> grid[] = {{3, 2}, {3, 3}, {4, 2}, {4, 3}};
+  for (const auto& [fanout, channels] : grid) {
+    if (!RunInstance(fanout, /*depth=*/3, channels, repeats, &reports)) {
+      return 1;
+    }
+  }
+
+  PrintTable(reports);
+  if (json) {
+    if (!WriteJson(json_path, reports)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -2,7 +2,9 @@
 
 #include "alloc/baselines.h"
 #include "alloc/data_tree.h"
+#include "alloc/topo_parallel.h"
 #include "alloc/topo_search.h"
+#include "exec/thread_pool.h"
 
 namespace bcast {
 
@@ -13,6 +15,9 @@ Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
     return FailedPreconditionError("index tree must be finalized");
   }
   if (num_channels < 1) return InvalidArgumentError("need at least one channel");
+  if (options.num_threads < 0) {
+    return InvalidArgumentError("num_threads must be >= 0 (0 = hardware)");
+  }
 
   if (num_channels >= tree.max_level_width()) {
     return LevelAllocation(tree, num_channels);
@@ -28,9 +33,13 @@ Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
   topo_options.num_channels = num_channels;
   topo_options.prune_candidates = options.use_pruning;
   topo_options.prune_local_swap = options.use_pruning;
+  topo_options.bound = options.bound;
   topo_options.max_expansions = options.max_expansions;
   auto search = TopoTreeSearch::Create(tree, topo_options);
   if (!search.ok()) return search.status();
+  int threads = options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
+                                         : options.num_threads;
+  if (threads > 1) return FindOptimalTopoParallel(*search, threads);
   return search->FindOptimalDfs();
 }
 

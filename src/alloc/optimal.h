@@ -12,6 +12,7 @@
 #define BCAST_ALLOC_OPTIMAL_H_
 
 #include "alloc/allocation.h"
+#include "alloc/topo_search.h"
 #include "tree/index_tree.h"
 #include "util/status.h"
 
@@ -22,6 +23,15 @@ struct OptimalOptions {
   bool use_pruning = true;
   /// Forwarded to the underlying searches.
   uint64_t max_expansions = 200'000'000;
+  /// Worker threads for the topological-tree branch-and-bound. 1 runs the
+  /// single-threaded engine exactly as before; 0 resolves to the hardware
+  /// concurrency. The returned allocation is byte-identical for every value
+  /// (see src/exec/parallel_search.h for the determinism argument) — only
+  /// wall-clock and the search statistics change. The level-allocation and
+  /// one-channel data-tree fast paths ignore this knob.
+  int num_threads = 1;
+  /// Lower-bound estimate used by the topological-tree searches.
+  TopoTreeSearch::BoundKind bound = TopoTreeSearch::BoundKind::kPacked;
 };
 
 /// Exact minimum-average-data-wait allocation. Errors on trees over 64 nodes

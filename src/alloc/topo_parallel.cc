@@ -1,0 +1,78 @@
+#include "alloc/topo_parallel.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "verify/verifier.h"
+
+namespace bcast {
+
+BnbState TopoBnbProblem::Root() const {
+  const IndexTree& tree = search_.tree();
+  NodeId root = tree.root();
+  uint64_t root_bit = uint64_t{1} << root;
+  BnbState state;
+  state.mask = root_bit;
+  state.last_set = root_bit;
+  state.depth = 1;
+  state.v = tree.is_data(root) ? tree.weight(root) : 0.0;
+  return state;
+}
+
+bool TopoBnbProblem::IsGoal(const BnbState& state) const {
+  return state.mask == search_.full_mask();
+}
+
+void TopoBnbProblem::Expand(const BnbState& state,
+                            std::vector<uint64_t>* subsets) const {
+  SearchStats local;
+  search_.GenerateNeighbors(state.mask, state.last_set, subsets, &local);
+  std::sort(subsets->begin(), subsets->end(),
+            [&](uint64_t a, uint64_t b) { return search_.SubsetLess(a, b); });
+  nodes_generated_.fetch_add(local.nodes_generated, std::memory_order_relaxed);
+  nodes_pruned_.fetch_add(local.nodes_pruned, std::memory_order_relaxed);
+}
+
+BnbState TopoBnbProblem::Child(const BnbState& state, uint64_t subset) const {
+  BnbState child;
+  child.mask = state.mask | subset;
+  child.last_set = subset;
+  child.depth = state.depth + 1;
+  child.v = state.v + search_.SetDataWeight(subset) *
+                          static_cast<double>(state.depth + 1);
+  return child;
+}
+
+double TopoBnbProblem::Estimate(const BnbState& state) const {
+  return state.v + search_.LowerBound(state.mask, state.depth);
+}
+
+bool TopoBnbProblem::SubsetLess(uint64_t a, uint64_t b) const {
+  return search_.SubsetLess(a, b);
+}
+
+Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
+                                                 int num_threads) {
+  TopoBnbProblem problem(search);
+  ParallelSearchOptions options;
+  options.num_threads = num_threads;
+  options.max_expansions = search.options().max_expansions;
+  auto parallel = RunParallelSearch(problem, options);
+  if (!parallel.ok()) return parallel.status();
+
+  const IndexTree& tree = search.tree();
+  AllocationResult result;
+  result.slots = CompoundPathToSlots(tree.root(), parallel->best_path);
+  result.average_data_wait = parallel->best_v / tree.total_data_weight();
+  result.stats.nodes_expanded = parallel->stats.nodes_expanded;
+  result.stats.nodes_generated = problem.nodes_generated();
+  result.stats.nodes_pruned = problem.nodes_pruned();
+  result.stats.paths_completed = parallel->stats.paths_completed;
+  BCAST_DCHECK_OK(AllocationVerifier(tree)
+                      .VerifySlots(search.options().num_channels, result.slots,
+                                   result.average_data_wait)
+                      .ToStatus());
+  return result;
+}
+
+}  // namespace bcast

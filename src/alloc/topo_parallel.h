@@ -1,0 +1,65 @@
+// Parallel exact search over the k-channel topological tree.
+//
+// TopoBnbProblem adapts TopoTreeSearch's expansion building blocks (neighbor
+// generation with the Appendix pruning, the admissible bound, the canonical
+// sibling order) to the exec/parallel_search.h BnbProblem interface, and
+// FindOptimalTopoParallel runs the work-stealing engine over it.
+//
+// The result is byte-identical to TopoTreeSearch::FindOptimalDfs() for any
+// thread count — both engines report the (cost, canonical-lex) minimal
+// root-to-leaf path, materialized through the shared CompoundPathToSlots.
+// Only the search statistics vary between runs.
+
+#ifndef BCAST_ALLOC_TOPO_PARALLEL_H_
+#define BCAST_ALLOC_TOPO_PARALLEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "alloc/topo_search.h"
+#include "exec/parallel_search.h"
+#include "util/status.h"
+
+namespace bcast {
+
+/// BnbProblem view of a TopoTreeSearch instance. Pure const reads of the
+/// search object; the generation/pruning counters are relaxed atomics so
+/// concurrent Expand calls can account their work.
+class TopoBnbProblem : public BnbProblem {
+ public:
+  /// `search` must outlive the problem.
+  explicit TopoBnbProblem(const TopoTreeSearch& search) : search_(search) {}
+
+  BnbState Root() const override;
+  bool IsGoal(const BnbState& state) const override;
+  void Expand(const BnbState& state,
+              std::vector<uint64_t>* subsets) const override;
+  BnbState Child(const BnbState& state, uint64_t subset) const override;
+  double Estimate(const BnbState& state) const override;
+  bool SubsetLess(uint64_t a, uint64_t b) const override;
+
+  uint64_t nodes_generated() const {
+    return nodes_generated_.load(std::memory_order_relaxed);
+  }
+  uint64_t nodes_pruned() const {
+    return nodes_pruned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const TopoTreeSearch& search_;
+  mutable std::atomic<uint64_t> nodes_generated_{0};
+  mutable std::atomic<uint64_t> nodes_pruned_{0};
+};
+
+/// Runs the parallel branch-and-bound over the (possibly reduced)
+/// topological tree of `search`. num_threads/cache semantics are those of
+/// ParallelSearchOptions; max_expansions is taken from the search's own
+/// options. Returns the same allocation as search.FindOptimalDfs().
+Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
+                                                 int num_threads);
+
+}  // namespace bcast
+
+#endif  // BCAST_ALLOC_TOPO_PARALLEL_H_

@@ -59,6 +59,13 @@ TopoTreeSearch::TopoTreeSearch(const IndexTree& tree, Options options)
             });
 }
 
+bool TopoTreeSearch::SubsetLess(uint64_t a, uint64_t b) const {
+  const double wa = SetDataWeight(a);
+  const double wb = SetDataWeight(b);
+  if (wa != wb) return wa > wb;
+  return a < b;
+}
+
 double TopoTreeSearch::SetDataWeight(uint64_t set) const {
   double sum = 0.0;
   ForEachBit(set, [&](NodeId id) {
@@ -330,10 +337,11 @@ Status TopoTreeSearch::Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set,
   std::vector<uint64_t> neighbors;
   GenerateNeighbors(mask, last_set, &neighbors, &ctx->stats);
   if (ctx->mode == DfsContext::Mode::kOptimize) {
-    // Visit promising neighbors first so the incumbent tightens quickly.
-    std::sort(neighbors.begin(), neighbors.end(), [&](uint64_t a, uint64_t b) {
-      return SetDataWeight(a) > SetDataWeight(b);
-    });
+    // Visit promising neighbors first so the incumbent tightens quickly. The
+    // canonical order (not just weight-descending) pins which equal-cost
+    // optimum is found first, so the parallel engine can reproduce it.
+    std::sort(neighbors.begin(), neighbors.end(),
+              [&](uint64_t a, uint64_t b) { return SubsetLess(a, b); });
   }
   for (uint64_t subset : neighbors) {
     double nv = v + SetDataWeight(subset) * static_cast<double>(depth + 1);
@@ -348,9 +356,8 @@ Status TopoTreeSearch::Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set,
   return Status::Ok();
 }
 
-namespace {
-
-SlotSequence PathToSlots(NodeId root, const std::vector<uint64_t>& path) {
+SlotSequence CompoundPathToSlots(NodeId root,
+                                 const std::vector<uint64_t>& path) {
   SlotSequence slots;
   slots.push_back({root});
   for (uint64_t set : path) {
@@ -360,8 +367,6 @@ SlotSequence PathToSlots(NodeId root, const std::vector<uint64_t>& path) {
   }
   return slots;
 }
-
-}  // namespace
 
 Result<uint64_t> TopoTreeSearch::CountPaths(uint64_t limit) {
   DfsContext ctx;
@@ -393,7 +398,7 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalDfs() {
     return InternalError("no feasible allocation found (pruning dead end)");
   }
   AllocationResult result;
-  result.slots = PathToSlots(root, ctx.best_path);
+  result.slots = CompoundPathToSlots(root, ctx.best_path);
   result.average_data_wait = ctx.best_v / tree_.total_data_weight();
   result.stats = ctx.stats;
   // Debug builds statically verify every search product: feasibility of the
@@ -474,7 +479,7 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst() {
       }
       std::reverse(path.begin(), path.end());
       AllocationResult result;
-      result.slots = PathToSlots(root, path);
+      result.slots = CompoundPathToSlots(root, path);
       result.average_data_wait = node.v / tree_.total_data_weight();
       result.stats = stats;
       result.stats.paths_completed = 1;

@@ -35,6 +35,12 @@
 
 namespace bcast {
 
+/// Expands a root-to-leaf compound-set path of the topological tree into a
+/// slot sequence: slot 0 = {root}, slot s = the nodes of path[s-1] in
+/// ascending id order. Shared by the sequential and parallel engines so both
+/// materialize identical bytes for identical paths.
+SlotSequence CompoundPathToSlots(NodeId root, const std::vector<uint64_t>& path);
+
 /// Exact search over the k-channel topological tree.
 class TopoTreeSearch {
  public:
@@ -82,24 +88,44 @@ class TopoTreeSearch {
   /// E(X) = V(X) + U(X), with dominance pruning on equal states).
   Result<AllocationResult> FindOptimalBestFirst();
 
+  // --- expansion building blocks ------------------------------------------
+  // Shared with the parallel engine (src/exec/parallel_search.h via the
+  // src/alloc/topo_parallel.h adapter) so both engines expand exactly the
+  // same reduced tree. All three are pure const reads of the finalized tree
+  // and the options — safe to call concurrently.
+
+  /// Sum of data weights inside a compound-set bitmask.
+  double SetDataWeight(uint64_t set) const;
+
+  /// Generates the next-neighbor compound sets of `last_set` given the
+  /// allocated-set `mask`, applying the configured pruning. Appends submasks
+  /// to `out` in generation order (callers impose the canonical order).
+  void GenerateNeighbors(uint64_t mask, uint64_t last_set,
+                         std::vector<uint64_t>* out, SearchStats* stats) const;
+
+  /// Admissible lower bound on the *additional* weighted wait of data nodes
+  /// not in `mask`, if the next slot index is `depth + 1` (1-based).
+  double LowerBound(uint64_t mask, int depth) const;
+
+  /// Canonical strict total order on sibling compound sets: data weight
+  /// descending, then bitmask ascending. Both exact engines visit neighbors
+  /// in this order, which makes "the first optimum found" a well-defined,
+  /// thread-count-independent allocation (the preorder tie-break of the
+  /// determinism contract).
+  bool SubsetLess(uint64_t a, uint64_t b) const;
+
+  /// Bitmask with every tree node allocated (the goal test).
+  uint64_t full_mask() const { return full_mask_; }
+
+  const Options& options() const { return options_; }
+  const IndexTree& tree() const { return tree_; }
+
  private:
   TopoTreeSearch(const IndexTree& tree, Options options);
-
-  // Sum of data weights inside a compound-set bitmask.
-  double SetDataWeight(uint64_t set) const;
 
   // Candidate set S for the allocated-set `mask` (ids of nodes whose parent
   // is allocated but which are not).
   void Candidates(uint64_t mask, std::vector<NodeId>* out) const;
-
-  // Generates the next-neighbor compound sets of `last_set` given `mask`,
-  // applying the configured pruning. Appends submasks to `out`.
-  void GenerateNeighbors(uint64_t mask, uint64_t last_set,
-                         std::vector<uint64_t>* out, SearchStats* stats) const;
-
-  // Admissible lower bound on the *additional* weighted wait of data nodes
-  // not in `mask`, if the next slot index is `depth + 1` (1-based).
-  double LowerBound(uint64_t mask, int depth) const;
 
   // Depth-first worker shared by counting and branch-and-bound.
   struct DfsContext;

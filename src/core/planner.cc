@@ -4,6 +4,7 @@
 
 #include "alloc/baselines.h"
 #include "broadcast/schedule_builder.h"
+#include "exec/thread_pool.h"
 #include "verify/verifier.h"
 
 namespace bcast {
@@ -123,6 +124,40 @@ Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
                                    plan.allocation.average_data_wait)
                       .ToStatus());
   return plan;
+}
+
+std::vector<Result<BroadcastPlan>> PlanMany(
+    const std::vector<PlanRequest>& requests, int num_threads) {
+  // Prefilled so a request the pool never reaches (it cannot happen — the
+  // destructor drains — but also the null-tree case below) holds a Status,
+  // not an uninitialized slot.
+  std::vector<Result<BroadcastPlan>> results(
+      requests.size(),
+      Result<BroadcastPlan>(InternalError("PlanMany slot not filled")));
+  auto plan_one = [&](size_t i) {
+    const PlanRequest& request = requests[i];
+    if (request.tree == nullptr) {
+      results[i] = InvalidArgumentError("PlanRequest::tree is null");
+      return;
+    }
+    results[i] = PlanBroadcast(*request.tree, request.options);
+  };
+
+  if (num_threads == 0) num_threads = ThreadPool::HardwareConcurrency();
+  if (num_threads <= 1 || requests.size() <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) plan_one(i);
+    return results;
+  }
+
+  ThreadPool pool(num_threads);
+  TaskGroup group(&pool);
+  // Each task writes only its own slot; the vector itself is not resized
+  // while tasks run, so no synchronization beyond the group join is needed.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    group.Run([&plan_one, i] { plan_one(i); });
+  }
+  group.Wait();
+  return results;
 }
 
 }  // namespace bcast

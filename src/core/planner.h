@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "alloc/allocation.h"
 #include "alloc/heuristics.h"
@@ -65,6 +66,24 @@ struct BroadcastPlan {
 /// (e.g. OPTIMAL on a tree over 64 nodes).
 Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
                                     const PlannerOptions& options);
+
+/// One PlanBroadcast call of a batch.
+struct PlanRequest {
+  /// Must be non-null, finalized, and outlive the PlanMany call.
+  const IndexTree* tree = nullptr;
+  PlannerOptions options;
+};
+
+/// Plans a batch of independent broadcast cycles concurrently on a
+/// work-stealing pool (exec/thread_pool.h), one task per request.
+/// `num_threads` follows the OptimalOptions convention: 0 = hardware
+/// concurrency, 1 = plan sequentially on the calling thread. Result i is
+/// exactly what PlanBroadcast(*requests[i].tree, requests[i].options) would
+/// return — per-request errors land in the corresponding slot instead of
+/// failing the batch. Intended for replanning fleets of trees at once (see
+/// sim/server_sim.h's adaptive server).
+std::vector<Result<BroadcastPlan>> PlanMany(
+    const std::vector<PlanRequest>& requests, int num_threads = 0);
 
 }  // namespace bcast
 

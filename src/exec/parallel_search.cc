@@ -1,0 +1,328 @@
+#include "exec/parallel_search.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/thread_pool.h"
+#include "util/check.h"
+
+namespace bcast {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Packed incumbent word: | 48-bit rounded-up cost | 16-bit epoch |
+//
+// Costs are non-negative doubles, whose IEEE-754 bit patterns compare like
+// the values when viewed as unsigned integers. The low 16 mantissa bits are
+// sacrificed to the epoch; the stored cost is rounded *up* to the next
+// representable 48-bit-prefix value, so the word is always a valid upper
+// bound on the true best cost (relative slack ~2^-36 — harmless to pruning,
+// essential to never pruning an optimal tie).
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kEpochMask = 0xFFFFull;
+constexpr uint64_t kCostMask = ~kEpochMask;
+
+uint64_t PackCostCeiling(double cost) {
+  BCAST_DCHECK_GE(cost, 0.0);
+  uint64_t bits = std::bit_cast<uint64_t>(cost);
+  if ((bits & kEpochMask) != 0) bits += kEpochMask + 1;  // round up
+  return bits & kCostMask;
+}
+
+double UnpackCostCeiling(uint64_t word) {
+  return std::bit_cast<double>(word & kCostMask);
+}
+
+bool PathLexLess(const BnbProblem& problem, const std::vector<uint64_t>& a,
+                 const std::vector<uint64_t>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return problem.SubsetLess(a[i], b[i]);
+  }
+  return a.size() < b.size();
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded transposition cache.
+//
+// Key: allocated-node bitmask (shard + bucket); entries additionally carry
+// last_set because with the Appendix pruning the successor set depends on the
+// previous compound node, not the mask alone. An entry dominates a candidate
+// state when it reaches the same (mask, last_set) no later and either
+// strictly cheaper or equally cheap through a canonically smaller prefix —
+// exactly the condition under which every completion of the candidate is
+// beaten (or out-tie-broken) by a completion of the entry, so skipping the
+// candidate cannot change the deterministic result.
+// ---------------------------------------------------------------------------
+
+class TranspositionCache {
+ public:
+  TranspositionCache(const BnbProblem& problem, size_t num_shards)
+      : problem_(problem), shards_(RoundUpPow2(num_shards)) {}
+
+  /// True if `state` is dominated by a memoized state (skip it); otherwise
+  /// records `state` (evicting entries it dominates) and returns false.
+  bool CheckDominatedOrInsert(const BnbState& state,
+                              const std::vector<uint64_t>& prefix) {
+    Shard& shard = shards_[ShardIndex(state.mask)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::vector<Entry>& entries = shard.states[state.mask];
+    for (const Entry& entry : entries) {
+      if (entry.last_set != state.last_set || entry.depth > state.depth) {
+        continue;
+      }
+      if (entry.v < state.v ||
+          (entry.v == state.v && PathLexLess(problem_, entry.prefix, prefix))) {
+        return true;
+      }
+    }
+    // The new state survives; drop entries it dominates by the same rule so
+    // each (mask, last_set) keeps only its Pareto frontier.
+    std::erase_if(entries, [&](const Entry& entry) {
+      return entry.last_set == state.last_set && state.depth <= entry.depth &&
+             (state.v < entry.v ||
+              (state.v == entry.v && PathLexLess(problem_, prefix, entry.prefix)));
+    });
+    entries.push_back(Entry{state.last_set, state.depth, state.v, prefix});
+    return false;
+  }
+
+  uint64_t TotalEntries() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const auto& [mask, entries] : shard.states) {
+        total += entries.size();
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct Entry {
+    uint64_t last_set;
+    int depth;
+    double v;
+    std::vector<uint64_t> prefix;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, std::vector<Entry>> states;
+  };
+
+  size_t ShardIndex(uint64_t mask) const {
+    // Fibonacci hash; shards_.size() is a power of two.
+    return static_cast<size_t>((mask * 0x9E3779B97F4A7C15ull) >> 32) &
+           (shards_.size() - 1);
+  }
+
+  const BnbProblem& problem_;
+  std::vector<Shard> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+class Engine {
+ public:
+  Engine(const BnbProblem& problem, const ParallelSearchOptions& options,
+         int num_threads)
+      : problem_(problem),
+        options_(options),
+        num_threads_(num_threads),
+        cache_(options.cache_shards > 0
+                   ? std::make_unique<TranspositionCache>(
+                         problem, static_cast<size_t>(options.cache_shards))
+                   : nullptr) {}
+
+  Result<ParallelSearchResult> Run() {
+    {
+      ThreadPool pool(num_threads_);
+      TaskGroup group(&pool);
+      group_ = &group;
+      BnbState root = problem_.Root();
+      group.Run([this, root] {
+        std::vector<uint64_t> prefix;
+        Visit(root, &prefix);
+      });
+      group.Wait();
+      group_ = nullptr;
+    }  // pool drained and joined: every stat below is quiescent
+
+    if (aborted_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(abort_mutex_);
+      return abort_status_;
+    }
+    std::lock_guard<std::mutex> lock(best_mutex_);
+    if (!has_best_) {
+      return InternalError("no feasible allocation found (pruning dead end)");
+    }
+    ParallelSearchResult result;
+    result.best_path = best_path_;
+    result.best_v = best_v_;
+    result.stats.nodes_expanded = expanded_.load(std::memory_order_relaxed);
+    result.stats.paths_completed = completed_.load(std::memory_order_relaxed);
+    result.stats.bound_pruned = bound_pruned_.load(std::memory_order_relaxed);
+    result.stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    result.stats.cache_entries = cache_ ? cache_->TotalEntries() : 0;
+    result.stats.incumbent_updates =
+        incumbent_updates_.load(std::memory_order_relaxed);
+    result.stats.threads_used = num_threads_;
+    return result;
+  }
+
+ private:
+  // Expands one state. `prefix` holds the subsets placed after the root, the
+  // last being state.last_set (empty for the root itself); it is mutated
+  // in place during inline recursion and restored before returning.
+  void Visit(const BnbState& state, std::vector<uint64_t>* prefix) {
+    if (aborted_.load(std::memory_order_relaxed)) return;
+    const uint64_t n = expanded_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n > options_.max_expansions) {
+      Abort(ResourceExhaustedError(
+          "parallel search exceeded " +
+          std::to_string(options_.max_expansions) + " expansions"));
+      return;
+    }
+    if (problem_.IsGoal(state)) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      TryImprove(state.v, *prefix);
+      return;
+    }
+    // Re-check against the freshest incumbent: the bound may have tightened
+    // since this state was enqueued.
+    if (problem_.Estimate(state) > CeilingCost()) {
+      bound_pruned_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (cache_ != nullptr && cache_->CheckDominatedOrInsert(state, *prefix)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    std::vector<uint64_t> subsets;
+    problem_.Expand(state, &subsets);
+    for (uint64_t subset : subsets) {
+      if (aborted_.load(std::memory_order_relaxed)) return;
+      BnbState child = problem_.Child(state, subset);
+      if (problem_.Estimate(child) > CeilingCost()) {
+        bound_pruned_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (state.depth < options_.spawn_depth) {
+        // Shallow: every child is its own stealable task. The prefix copy is
+        // tiny here (length < spawn_depth).
+        std::vector<uint64_t> child_prefix = *prefix;
+        child_prefix.push_back(subset);
+        group_->Run([this, child, child_prefix]() mutable {
+          Visit(child, &child_prefix);
+        });
+      } else {
+        prefix->push_back(subset);
+        Visit(child, prefix);
+        prefix->pop_back();
+      }
+    }
+  }
+
+  double CeilingCost() const {
+    return UnpackCostCeiling(incumbent_.load(std::memory_order_relaxed));
+  }
+
+  void TryImprove(double v, const std::vector<uint64_t>& path) {
+    {
+      std::lock_guard<std::mutex> lock(best_mutex_);
+      if (has_best_ &&
+          (v > best_v_ ||
+           (v == best_v_ && !PathLexLess(problem_, path, best_path_)))) {
+        return;
+      }
+      best_v_ = v;
+      best_path_ = path;
+      has_best_ = true;
+    }
+    incumbent_updates_.fetch_add(1, std::memory_order_relaxed);
+    // Lower the shared bound word. Only ever decreases (cost part), so a CAS
+    // loop against concurrent lowerers suffices; the epoch stamps each
+    // successful publication.
+    const uint64_t desired_cost = PackCostCeiling(v);
+    uint64_t current = incumbent_.load(std::memory_order_relaxed);
+    while ((current & kCostMask) > desired_cost) {
+      const uint64_t next = desired_cost | ((current + 1) & kEpochMask);
+      if (incumbent_.compare_exchange_weak(current, next,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
+  void Abort(Status status) {
+    bool expected = false;
+    if (aborted_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(abort_mutex_);
+      abort_status_ = std::move(status);
+    }
+  }
+
+  const BnbProblem& problem_;
+  const ParallelSearchOptions& options_;
+  const int num_threads_;
+
+  TaskGroup* group_ = nullptr;
+
+  std::atomic<uint64_t> incumbent_{
+      PackCostCeiling(std::numeric_limits<double>::infinity())};
+  std::mutex best_mutex_;
+  bool has_best_ = false;
+  double best_v_ = 0.0;
+  std::vector<uint64_t> best_path_;
+
+  std::unique_ptr<TranspositionCache> cache_;
+
+  std::atomic<bool> aborted_{false};
+  std::mutex abort_mutex_;
+  Status abort_status_;
+
+  std::atomic<uint64_t> expanded_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> bound_pruned_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> incumbent_updates_{0};
+};
+
+}  // namespace
+
+Result<ParallelSearchResult> RunParallelSearch(
+    const BnbProblem& problem, const ParallelSearchOptions& options) {
+  if (options.num_threads < 0) {
+    return InvalidArgumentError("num_threads must be >= 0 (0 = hardware)");
+  }
+  if (options.cache_shards < 0) {
+    return InvalidArgumentError("cache_shards must be >= 0 (0 = no cache)");
+  }
+  const int threads = options.num_threads == 0
+                          ? ThreadPool::HardwareConcurrency()
+                          : options.num_threads;
+  Engine engine(problem, options, threads);
+  return engine.Run();
+}
+
+}  // namespace bcast

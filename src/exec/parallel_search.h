@@ -1,0 +1,136 @@
+// ParallelSearch: deterministic, thread-count-invariant branch-and-bound on
+// a work-stealing pool (exec/thread_pool.h).
+//
+// The engine searches a tree of states labelled by compound-set bitmasks (the
+// shape of the paper's topological tree, abstracted behind BnbProblem so the
+// executor layer stays independent of src/alloc/). Frontier nodes are
+// expanded as stealable tasks down to a spawn depth; deeper subtrees run as
+// inline depth-first searches on whichever worker owns them.
+//
+// Three shared structures coordinate the workers:
+//
+//  * a lock-free *incumbent bound*: one atomic word packing a conservatively
+//    rounded-up copy of the best completed cost (high 48 bits, IEEE-754 order
+//    trick: the bit pattern of a non-negative double compares like the value)
+//    with a 16-bit update epoch in the low bits. Workers prune against it
+//    with plain loads; completions lower it with a CAS loop;
+//  * an exact *incumbent record* (cost + path) behind a mutex, touched only
+//    on the rare completion events, which also applies the canonical
+//    tie-break below;
+//  * a *sharded transposition cache* keyed by the allocated-node bitmask that
+//    memoizes explored states, so a state dominated by what any worker has
+//    already seen is never re-expanded.
+//
+// Determinism argument (tested by the differential harness): the returned
+// path is exactly
+//
+//      min over all completed paths of (cost, canonical lexicographic rank)
+//
+// where the rank compares sibling subsets by BnbProblem::SubsetLess at the
+// first differing slot. That minimum is a property of the problem, not of
+// the schedule, provided no run ever discards a path that could attain it:
+//  1. bound pruning uses *strictly greater than* an upper bound on the best
+//     completed cost (the packed word only ever rounds up), so subtrees that
+//     tie the optimum are never cut;
+//  2. the transposition cache skips a state only when a recorded state with
+//     the same (mask, last_set) reaches it no later (depth' <= depth) and
+//     either strictly cheaper (v' < v) or equally cheap via a lexicographically
+//     smaller prefix — in both cases every completion through the skipped
+//     state is beaten (or tie-broken) by one through the recorded state;
+//  3. the incumbent record applies the same (cost, lex) order, so the final
+//     winner is independent of completion arrival order.
+// Hence any interleaving, any steal pattern and any thread count produce the
+// same best path — the one the single-threaded engine reports. Search
+// *statistics* (expansion counts, cache hits) do legitimately vary run to
+// run; only the result is invariant.
+
+#ifndef BCAST_EXEC_PARALLEL_SEARCH_H_
+#define BCAST_EXEC_PARALLEL_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bcast {
+
+/// One branch-and-bound state: the set of placed elements, the subset placed
+/// last, the number of slots used (1-based) and the accumulated cost.
+struct BnbState {
+  uint64_t mask = 0;
+  uint64_t last_set = 0;
+  int depth = 0;
+  double v = 0.0;
+};
+
+/// Problem plugged into the engine. Implementations must be thread-safe for
+/// concurrent const calls and *pure*: the same state must always produce the
+/// same children, costs and bounds, or determinism is forfeit.
+class BnbProblem {
+ public:
+  virtual ~BnbProblem() = default;
+
+  /// Initial state (depth 1, root cost already accumulated).
+  virtual BnbState Root() const = 0;
+
+  /// True when the state is a complete assignment.
+  virtual bool IsGoal(const BnbState& state) const = 0;
+
+  /// Appends the children subsets of `state` in canonical order (sorted by
+  /// SubsetLess). The order is the determinism anchor — see file comment.
+  virtual void Expand(const BnbState& state,
+                      std::vector<uint64_t>* subsets) const = 0;
+
+  /// The successor reached from `state` by placing `subset` next.
+  virtual BnbState Child(const BnbState& state, uint64_t subset) const = 0;
+
+  /// Admissible estimate of the cheapest completion through `state`:
+  /// state.v plus a lower bound on the remaining cost (E(X) = V(X) + U(X)).
+  virtual double Estimate(const BnbState& state) const = 0;
+
+  /// Canonical strict total order on sibling subsets.
+  virtual bool SubsetLess(uint64_t a, uint64_t b) const = 0;
+};
+
+struct ParallelSearchOptions {
+  /// Worker threads; 0 = ThreadPool::HardwareConcurrency().
+  int num_threads = 0;
+  /// RESOURCE_EXHAUSTED once the engine has expanded this many states.
+  uint64_t max_expansions = 200'000'000;
+  /// States shallower than this spawn one pool task per child; deeper
+  /// subtrees run inline. Raising it exposes more parallelism and more
+  /// scheduling overhead.
+  int spawn_depth = 4;
+  /// Transposition-cache shards (rounded up to a power of two);
+  /// 0 disables the cache.
+  int cache_shards = 32;
+};
+
+struct ParallelSearchStats {
+  uint64_t nodes_expanded = 0;    // states taken off a deque or visited inline
+  uint64_t paths_completed = 0;   // goal states reached
+  uint64_t bound_pruned = 0;      // children cut by the incumbent bound
+  uint64_t cache_hits = 0;        // states skipped as memoized-dominated
+  uint64_t cache_entries = 0;     // live entries at the end of the run
+  uint64_t incumbent_updates = 0; // times the shared incumbent improved
+  int threads_used = 0;
+};
+
+struct ParallelSearchResult {
+  /// Winning root-to-goal path, one subset per step (the root state's own
+  /// placement is implicit).
+  std::vector<uint64_t> best_path;
+  /// Exact accumulated cost of best_path (not the rounded shared bound).
+  double best_v = 0.0;
+  ParallelSearchStats stats;
+};
+
+/// Runs the search to completion. Errors: RESOURCE_EXHAUSTED past
+/// max_expansions, INTERNAL if no goal state exists (a pruning dead end),
+/// INVALID_ARGUMENT for negative num_threads / cache_shards.
+Result<ParallelSearchResult> RunParallelSearch(
+    const BnbProblem& problem, const ParallelSearchOptions& options);
+
+}  // namespace bcast
+
+#endif  // BCAST_EXEC_PARALLEL_SEARCH_H_

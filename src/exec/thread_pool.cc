@@ -1,0 +1,151 @@
+#include "exec/thread_pool.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace bcast {
+
+namespace {
+
+// Which pool (if any) the current thread belongs to. A thread can only ever
+// be a worker of one pool, so a single pair suffices.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  BCAST_CHECK_GE(num_threads, 1) << "thread pool needs at least one worker";
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // The lock pairs the flag flip with the cv wait: a worker that just saw
+    // stopping_ == false cannot miss the notify.
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ThreadPool::CurrentWorkerIndex() const {
+  return tls_worker.pool == this ? tls_worker.index : -1;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  BCAST_CHECK(task != nullptr);
+  int target = CurrentWorkerIndex();
+  if (target < 0) {
+    target = static_cast<int>(next_external_.fetch_add(1, std::memory_order_relaxed) %
+                              workers_.size());
+  }
+  Worker& worker = *workers_[static_cast<size_t>(target)];
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Serialize with the sleepers' predicate check: a worker is either still
+    // holding idle_mutex_ (and will see the new pending_ count) or already
+    // asleep (and will hear the notify). Without this lock the increment can
+    // slip between a worker's failed predicate check and its sleep.
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+  }
+  idle_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(int self) {
+  const int n = num_threads();
+  // Own deque first, newest task (LIFO).
+  {
+    Worker& own = *workers_[static_cast<size_t>(self)];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  // Steal the oldest task of the first non-empty victim.
+  for (int offset = 1; offset < n; ++offset) {
+    Worker& victim = *workers_[static_cast<size_t>((self + offset) % n)];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_worker = {this, index};
+  for (;;) {
+    std::function<void()> task = TakeTask(index);
+    if (task != nullptr) {
+      // The decrement happens after the take so pending_ over-approximates
+      // runnable work and sleepers never under-wake.
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;  // drained: nothing queued anywhere, and no more will arrive
+    }
+    idle_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) > 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  BCAST_CHECK(pool != nullptr);
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task out: pair with the Wait() predicate under the lock so the
+      // waiter cannot check-then-sleep between our decrement and notify.
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  BCAST_CHECK_EQ(pool_->CurrentWorkerIndex(), -1)
+      << "TaskGroup::Wait() on a pool worker would deadlock";
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace bcast

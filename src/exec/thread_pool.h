@@ -1,0 +1,110 @@
+// Work-stealing thread pool: the execution substrate of the parallel search
+// engine (exec/parallel_search.h) and the batch planner (core/PlanMany).
+//
+// Each worker owns a deque. The owner pushes and pops at the back (LIFO, so a
+// worker descends depth-first into the subtree it just split, keeping its
+// working set cache-hot); idle workers steal from the *front* of a victim's
+// deque (FIFO, so thieves take the oldest — and for branch-and-bound the
+// largest — subtasks, which amortizes the steal over the most work). External
+// (non-worker) submitters round-robin across the deques.
+//
+// The pool knows nothing about search: tasks are plain std::function<void()>.
+// Determinism therefore cannot come from the executor — callers that need
+// order-independent results (ParallelSearch) must make every task outcome
+// commutative. Destruction drains: queued tasks (including tasks submitted by
+// running tasks) all execute before the workers join.
+
+#ifndef BCAST_EXEC_THREAD_POOL_H_
+#define BCAST_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bcast {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (checked >= 1). Use HardwareConcurrency()
+  /// to size the pool to the machine.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Callable from any thread, including from inside a
+  /// running task (the task lands on the submitting worker's own deque).
+  void Submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1 (the standard
+  /// allows 0 for "unknown").
+  static int HardwareConcurrency();
+
+  /// Index of the calling worker within this pool, or -1 for foreign threads.
+  /// Exposed for tests and for callers that shard per-worker state.
+  int CurrentWorkerIndex() const;
+
+  /// Total tasks stolen from another worker's deque (telemetry; approximate
+  /// ordering only, exact count).
+  uint64_t steal_count() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int index);
+
+  // Pops one task for worker `self` (own back first, then steal a front).
+  // Returns an empty function if nothing is runnable.
+  std::function<void()> TakeTask(int self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Queued-but-not-started task count; guards the idle wait.
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_external_{0};  // round-robin cursor
+  std::atomic<uint64_t> steals_{0};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+/// Completion tracking for a batch of pool tasks. Run() wraps the task with
+/// an outstanding-count decrement; Wait() blocks until every task that was
+/// Run() — including tasks Run() from inside other tasks — has finished.
+/// Wait() must be called from a non-worker thread (a waiting worker would
+/// deadlock a single-threaded pool).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+
+  /// Schedules `task` on the pool as part of this group.
+  void Run(std::function<void()> task);
+
+  /// Blocks until the group is empty.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::atomic<uint64_t> outstanding_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_EXEC_THREAD_POOL_H_

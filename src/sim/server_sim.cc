@@ -87,14 +87,33 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
   report.mean_delivery_success = 0.0;
   int delivered_cycles = 0;
   for (int cycle = 0; cycle < options.num_cycles; ++cycle) {
-    // Replan from the current estimates when due (never at cycle 0: the
-    // initial plan is already in place).
-    if (options.replan_every > 0 && cycle > 0 &&
-        cycle % options.replan_every == 0) {
-      auto next = replan(estimator.EstimatedWeights());
-      if (!next.ok()) return next.status();
-      active_tree = std::move(next->first);
-      active_schedule = std::move(next->second);
+    // The cycle needs up to two independent plans: the oracle's (from the
+    // true weights, every cycle) and the server's due replan (from the
+    // current estimates, never at cycle 0: the initial plan is already in
+    // place). Both are planned from weights fixed for the whole cycle —
+    // drift applies only between cycles — so they batch through PlanMany.
+    const bool replan_due = options.replan_every > 0 && cycle > 0 &&
+                            cycle % options.replan_every == 0;
+    auto oracle_tree = BuildCatalogIndex(true_weights, options.index_fanout);
+    if (!oracle_tree.ok()) return oracle_tree.status();
+    Result<IndexTree> next_tree = InternalError("no server replan this cycle");
+    std::vector<PlanRequest> batch;
+    batch.push_back({&*oracle_tree, plan_options});
+    if (replan_due) {
+      next_tree = BuildCatalogIndex(estimator.EstimatedWeights(),
+                                    options.index_fanout);
+      if (!next_tree.ok()) return next_tree.status();
+      batch.push_back({&*next_tree, plan_options});
+    }
+    std::vector<Result<BroadcastPlan>> plans =
+        PlanMany(batch, options.planner_threads);
+    for (const Result<BroadcastPlan>& plan : plans) {
+      if (!plan.ok()) return plan.status();
+    }
+    const BroadcastSchedule& oracle_schedule = plans[0]->schedule;
+    if (replan_due) {
+      active_tree = std::move(next_tree).value();
+      active_schedule = std::move(plans[1]->schedule);
       active_data = active_tree.DataNodes();
     }
 
@@ -140,11 +159,8 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
     const double delivery_rate =
         static_cast<double>(delivered) / options.queries_per_cycle;
 
-    // Oracle: replan from the true weights.
-    auto oracle = replan(true_weights);
-    if (!oracle.ok()) return oracle.status();
     double oracle_wait =
-        ExpectedWaitUnder(oracle->first, oracle->second, true_weights);
+        ExpectedWaitUnder(*oracle_tree, oracle_schedule, true_weights);
 
     CycleStats stats;
     stats.cycle = cycle;

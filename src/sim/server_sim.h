@@ -44,6 +44,11 @@ struct AdaptiveServerOptions {
   /// Per-query delivery attempts (1 + retries) before the query counts as
   /// undelivered.
   int max_delivery_attempts = 8;
+  /// Worker threads for the per-cycle planning batch (the server's due replan
+  /// and the oracle's every-cycle replan go through core/PlanMany together).
+  /// 1 = plan sequentially, 0 = hardware concurrency. Planning is
+  /// deterministic, so the report is identical for every value.
+  int planner_threads = 1;
 };
 
 /// Per-cycle outcome.

@@ -66,6 +66,38 @@ TEST(CliTest, PlanRejectsBadChannelCount) {
   EXPECT_NE(out.find("expects an integer"), std::string::npos);
 }
 
+TEST(CliTest, PlanRejectsBadThreadCounts) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree, "--threads", "0"}, &out),
+            1);
+  EXPECT_NE(out.find("--threads must be >= 1"), std::string::npos);
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree, "--threads=-3"}, &out),
+            1);
+  EXPECT_NE(out.find("--threads must be >= 1"), std::string::npos);
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree, "--threads", "two"}, &out),
+            1);
+  EXPECT_NE(out.find("expects an integer"), std::string::npos);
+  EXPECT_EQ(RunCommand({"simulate", "--tree", kExampleTree, "--threads", "0"}, &out),
+            1);
+  EXPECT_NE(out.find("--threads must be >= 1"), std::string::npos);
+}
+
+TEST(CliTest, PlanWithThreadsMatchesSingleThreadedOutput) {
+  std::string single, parallel;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                         "--strategy", "optimal", "--threads", "1"},
+                        &single);
+  ASSERT_EQ(code, 0) << single;
+  code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                     "--strategy", "optimal", "--threads", "4"},
+                    &parallel);
+  ASSERT_EQ(code, 0) << parallel;
+  // Determinism contract: the printed schedule and costs are identical
+  // character for character, whatever the thread count.
+  EXPECT_EQ(single, parallel);
+  EXPECT_NE(parallel.find("average data wait : 3.77143"), std::string::npos);
+}
+
 TEST(CliTest, PlanRejectsMalformedTree) {
   std::string out;
   EXPECT_EQ(RunCommand({"plan", "--tree", "(broken"}, &out), 1);

@@ -21,6 +21,8 @@
 #include "alloc/baselines.h"
 #include "alloc/heuristics.h"
 #include "alloc/optimal.h"
+#include "alloc/topo_parallel.h"
+#include "alloc/topo_search.h"
 #include "broadcast/cost.h"
 #include "broadcast/schedule_builder.h"
 #include "fault/fault_model.h"
@@ -82,6 +84,52 @@ TEST(DifferentialHarnessTest, RandomTreesOptimalVsHeuristicsVsFlat) {
     EXPECT_NEAR(AverageDataWait(tree, *schedule), opt, 1e-6);
     VerifyReport report = AllocationVerifier(tree).VerifySchedule(*schedule);
     EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+TEST(DifferentialHarnessTest, ParallelSearchIsThreadCountInvariant) {
+  // The determinism contract of the parallel engine (exec/parallel_search.h):
+  // for every thread count the returned allocation is BYTE-IDENTICAL to the
+  // single-threaded branch-and-bound — same slot sequence, exactly the same
+  // ADW double — and passes the verifier. Same seed formula as the main
+  // random-tree sweep so the two harnesses cover the same instances.
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed * 0x9E3779B9u + 1);
+    const int num_data = 3 + static_cast<int>(seed % 6);
+    const int max_fanout = 2 + static_cast<int>(seed % 3);
+    IndexTree tree = MakeRandomTree(&rng, num_data, max_fanout);
+    const int k = 1 + static_cast<int>(seed % 3);
+
+    TopoTreeSearch::Options options;
+    options.num_channels = k;
+    options.prune_candidates = true;
+    options.prune_local_swap = true;
+    auto search = TopoTreeSearch::Create(tree, options);
+    ASSERT_TRUE(search.ok()) << search.status().ToString();
+    auto sequential = search->FindOptimalDfs();
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      auto parallel = FindOptimalTopoParallel(*search, threads);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_EQ(parallel->slots, sequential->slots);
+      EXPECT_EQ(parallel->average_data_wait, sequential->average_data_wait);
+      CheckResult(tree, k, *parallel, "parallel");
+    }
+
+    // The public facade takes the same route.
+    OptimalOptions facade;
+    facade.num_threads = 8;
+    auto via_facade = FindOptimalAllocation(tree, k, facade);
+    ASSERT_TRUE(via_facade.ok()) << via_facade.status().ToString();
+    CheckResult(tree, k, *via_facade, "facade");
+    auto via_facade_st = FindOptimalAllocation(tree, k, OptimalOptions{});
+    ASSERT_TRUE(via_facade_st.ok()) << via_facade_st.status().ToString();
+    EXPECT_EQ(via_facade->slots, via_facade_st->slots);
+    EXPECT_EQ(via_facade->average_data_wait,
+              via_facade_st->average_data_wait);
   }
 }
 

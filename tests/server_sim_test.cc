@@ -83,6 +83,33 @@ TEST(AdaptiveServerTest, ProducesPerCycleStats) {
   EXPECT_GT(report->mean_realized, 0.0);
 }
 
+TEST(AdaptiveServerTest, PlannerThreadsDoNotChangeTheReport) {
+  // The per-cycle plans are batched through PlanMany; the exact search is
+  // thread-count invariant, so every planner_threads value must reproduce
+  // the same report bit for bit.
+  std::vector<double> weights = ZipfWeights(24, 1.0);
+  AdaptiveServerOptions options = SmallOptions();
+  options.planner_threads = 1;
+  Rng rng_single(7);
+  auto single = RunAdaptiveServer(weights, nullptr, &rng_single, options);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  options.planner_threads = 4;
+  Rng rng_parallel(7);
+  auto parallel = RunAdaptiveServer(weights, nullptr, &rng_parallel, options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(single->cycles.size(), parallel->cycles.size());
+  for (size_t i = 0; i < single->cycles.size(); ++i) {
+    EXPECT_EQ(single->cycles[i].realized_data_wait,
+              parallel->cycles[i].realized_data_wait);
+    EXPECT_EQ(single->cycles[i].oracle_data_wait,
+              parallel->cycles[i].oracle_data_wait);
+    EXPECT_EQ(single->cycles[i].estimation_error,
+              parallel->cycles[i].estimation_error);
+  }
+  EXPECT_EQ(single->mean_realized, parallel->mean_realized);
+  EXPECT_EQ(single->mean_oracle, parallel->mean_oracle);
+}
+
 TEST(AdaptiveServerTest, LearnsAStationaryDistribution) {
   // With no drift, the adaptive server should approach the oracle after a
   // few cycles of observation.

@@ -1,0 +1,114 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace bcast {
+namespace {
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // The destructor drains: every queued task runs before the join.
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromTasksAlsoDrain) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&pool, &counter] {
+        counter.fetch_add(1);
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkerIndexVisibleInsideTasksOnly) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.CurrentWorkerIndex(), -1);  // foreign (test) thread
+  std::atomic<bool> index_in_range{true};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Run([&pool, &index_in_range] {
+      int index = pool.CurrentWorkerIndex();
+      if (index < 0 || index >= pool.num_threads()) index_in_range = false;
+    });
+  }
+  group.Wait();
+  EXPECT_TRUE(index_in_range.load());
+}
+
+TEST(ThreadPoolTest, TaskGroupWaitsForNestedRuns) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    group.Run([&group, &done] {
+      group.Run([&group, &done] {
+        group.Run([&done] { done.fetch_add(1); });
+        done.fetch_add(1);
+      });
+      done.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), 60);
+}
+
+TEST(ThreadPoolTest, SingleThreadedPoolMakesProgress) {
+  // One worker, tasks spawning tasks: nothing to steal from, so this only
+  // terminates if the owner drains its own deque correctly.
+  std::atomic<int> counter{0};
+  ThreadPool pool(1);
+  TaskGroup group(&pool);
+  group.Run([&] {
+    for (int i = 0; i < 100; ++i) {
+      group.Run([&counter] { counter.fetch_add(1); });
+    }
+  });
+  group.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealQueuedBacklog) {
+  // Pile a backlog onto one worker's deque (submitted from inside a task, so
+  // everything lands on that worker) while a second worker sits idle; the
+  // idle worker can finish the backlog only by stealing.
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Run([&] {
+    for (int i = 0; i < 200; ++i) {
+      group.Run([&counter] {
+        counter.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      });
+    }
+  });
+  group.Wait();
+  EXPECT_EQ(counter.load(), 200);
+  // Not asserting steal_count > 0: with one core the first worker can legally
+  // drain its own deque before the second ever wakes. The counter is still
+  // exercised for the common case.
+  (void)pool.steal_count();
+}
+
+}  // namespace
+}  // namespace bcast

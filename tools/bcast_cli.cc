@@ -17,9 +17,11 @@ constexpr char kUsage[] =
     "usage:\n"
     "  bcastctl plan --tree <s-expr>|--tree-file <path> [--channels k]\n"
     "                [--strategy auto|optimal|sorting|shrinking|level|\n"
-    "                 preorder|greedy-weight] [--simulate N] [--save <path>]\n"
+    "                 preorder|greedy-weight] [--threads N] [--simulate N]\n"
+    "                [--save <path>]\n"
     "  bcastctl simulate --tree <s-expr>|--tree-file <path>|--program <path>\n"
-    "                [--channels k] [--strategy ...] [--queries N] [--seed S]\n"
+    "                [--channels k] [--strategy ...] [--threads N]\n"
+    "                [--queries N] [--seed S]\n"
     "                [--replicate-copies R] [--replicate-levels L]\n"
     "                [--loss-model none|bernoulli|gilbert-elliott]\n"
     "                [--loss-rate p] [--corrupt-fraction f]\n"
@@ -115,6 +117,19 @@ Result<IndexTree> LoadTree(const FlagMap& flags) {
   return ParseTree(text);
 }
 
+// --threads: worker threads for the exact search. The CLI requires an
+// explicit positive count (no 0-means-hardware shorthand: a script that says
+// 0 almost certainly meant to disable parallelism, not max it out).
+Result<int> LoadThreads(const FlagMap& flags) {
+  auto threads = flags.GetInt("threads", 1);
+  if (!threads.ok()) return threads.status();
+  if (*threads < 1) {
+    return InvalidArgumentError("--threads must be >= 1, got " +
+                                std::to_string(*threads));
+  }
+  return *threads;
+}
+
 Result<PlanStrategy> ParseStrategy(const std::string& name) {
   static constexpr std::pair<const char*, PlanStrategy> kStrategies[] = {
       {"auto", PlanStrategy::kAuto},
@@ -167,6 +182,9 @@ Status CmdPlan(const FlagMap& flags, std::ostringstream* os) {
   auto strategy = ParseStrategy(flags.Get("strategy").value_or("auto"));
   if (!strategy.ok()) return strategy.status();
   options.strategy = *strategy;
+  auto threads = LoadThreads(flags);
+  if (!threads.ok()) return threads.status();
+  options.optimal.num_threads = *threads;
 
   auto plan = PlanBroadcast(*tree, options);
   if (!plan.ok()) return plan.status();
@@ -281,6 +299,9 @@ Status CmdSimulate(const FlagMap& flags, std::ostringstream* os) {
     auto strategy = ParseStrategy(flags.Get("strategy").value_or("auto"));
     if (!strategy.ok()) return strategy.status();
     options.strategy = *strategy;
+    auto threads = LoadThreads(flags);
+    if (!threads.ok()) return threads.status();
+    options.optimal.num_threads = *threads;
     options.replication.root_copies = *copies;
     options.replication.replicate_levels = *levels;
     auto plan = PlanBroadcast(tree, options);
