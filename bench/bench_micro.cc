@@ -4,10 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <optional>
+
 #include "alloc/data_tree.h"
 #include "alloc/heuristics.h"
 #include "alloc/topo_search.h"
 #include "core/planner.h"
+#include "obs/obs.h"
 #include "sim/client_sim.h"
 #include "tree/alphabetic.h"
 #include "tree/builders.h"
@@ -168,4 +172,32 @@ BENCHMARK(BM_SimulatedQueries);
 }  // namespace
 }  // namespace bcast
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): `--obs` installs a live metrics
+// registry + trace recorder for the whole run, so the same binary measures
+// both the disabled-observability baseline and the instrumented cost. CI
+// diffs the two (tools/check_obs_overhead.py) to enforce the overhead budget.
+int main(int argc, char** argv) {
+  bool obs_on = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs") == 0) {
+      obs_on = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  // Static: the sinks must outlive every benchmark iteration and the
+  // harness shutdown (worker-pool destructors flush into the registry).
+  static bcast::obs::Registry registry;
+  static bcast::obs::TraceRecorder recorder;
+  std::optional<bcast::obs::ScopedObservability> scope;
+  if (obs_on) scope.emplace(&registry, &recorder);
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "alloc/topo_parallel.h"
 #include "alloc/topo_search.h"
+#include "obs/export.h"
 #include "tree/builders.h"
 #include "util/rng.h"
 #include "workload/weights.h"
@@ -158,41 +158,56 @@ void PrintTable(const std::vector<InstanceReport>& reports) {
 
 bool WriteJson(const std::string& path,
                const std::vector<InstanceReport>& reports) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+  std::string text;
+  bcast::obs::JsonWriter json(&text);
+  json.BeginObject();
+  json.Key("bench");
+  json.String("parallel_search");
+  json.Key("instances");
+  json.BeginArray();
+  for (const InstanceReport& report : reports) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(report.name);
+    json.Key("fanout");
+    json.Int(report.fanout);
+    json.Key("depth");
+    json.Int(report.depth);
+    json.Key("num_nodes");
+    json.Int(report.num_nodes);
+    json.Key("channels");
+    json.Int(report.channels);
+    json.Key("adw");
+    json.Double(report.adw);
+    json.Key("runs");
+    json.BeginArray();
+    for (const RunCell& cell : report.runs) {
+      json.BeginObject();
+      json.Key("threads");
+      json.Int(cell.threads);
+      json.Key("seconds");
+      json.Double(cell.seconds);
+      json.Key("nodes_expanded");
+      json.UInt(cell.nodes_expanded);
+      json.Key("expansions_per_sec");
+      json.Double(cell.expansions_per_sec);
+      json.Key("speedup_vs_1");
+      json.Double(cell.speedup_vs_1);
+      json.Key("matches_single_threaded");
+      json.Bool(cell.matches_single_threaded);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  text += '\n';
+  bcast::Status status = bcast::obs::WriteTextFile(path, text);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return false;
   }
-  char buffer[64];
-  auto number = [&buffer](double value) {
-    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    return std::string(buffer);
-  };
-  out << "{\n  \"bench\": \"parallel_search\",\n  \"instances\": [\n";
-  for (size_t i = 0; i < reports.size(); ++i) {
-    const InstanceReport& report = reports[i];
-    out << "    {\n"
-        << "      \"name\": \"" << report.name << "\",\n"
-        << "      \"fanout\": " << report.fanout << ",\n"
-        << "      \"depth\": " << report.depth << ",\n"
-        << "      \"num_nodes\": " << report.num_nodes << ",\n"
-        << "      \"channels\": " << report.channels << ",\n"
-        << "      \"adw\": " << number(report.adw) << ",\n"
-        << "      \"runs\": [\n";
-    for (size_t j = 0; j < report.runs.size(); ++j) {
-      const RunCell& cell = report.runs[j];
-      out << "        {\"threads\": " << cell.threads
-          << ", \"seconds\": " << number(cell.seconds)
-          << ", \"nodes_expanded\": " << cell.nodes_expanded
-          << ", \"expansions_per_sec\": " << number(cell.expansions_per_sec)
-          << ", \"speedup_vs_1\": " << number(cell.speedup_vs_1)
-          << ", \"matches_single_threaded\": "
-          << (cell.matches_single_threaded ? "true" : "false") << "}"
-          << (j + 1 < report.runs.size() ? "," : "") << "\n";
-    }
-    out << "      ]\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
   return true;
 }
 

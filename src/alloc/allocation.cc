@@ -2,9 +2,53 @@
 
 #include <string>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace bcast {
+
+void EmitSearchStats(const char* prefix, const SearchStats& stats) {
+  obs::Registry* registry = obs::GlobalMetrics();
+  if (registry == nullptr) return;
+  const std::string base(prefix);
+  auto add = [&](const char* name, uint64_t value) {
+    registry->GetCounter(base + name).Add(value);
+  };
+  add(".nodes_expanded", stats.nodes_expanded);
+  add(".nodes_generated", stats.nodes_generated);
+  add(".nodes_pruned", stats.nodes_pruned);
+  add(".paths_completed", stats.paths_completed);
+  add(".bound_cutoffs", stats.bound_cutoffs);
+  add(".incumbent_updates", stats.incumbent_updates);
+  add(".dominance_skips", stats.dominance_skips);
+  const PruneCounts& rules = stats.pruned_by_rule;
+  add(".pruned.property1", rules.property1);
+  add(".pruned.property2", rules.property2);
+  add(".pruned.property3", rules.property3);
+  add(".pruned.lemma3", rules.lemma3);
+  add(".pruned.lemma4", rules.lemma4);
+  add(".pruned.lemma5", rules.lemma5);
+  add(".pruned.lemma6", rules.lemma6);
+  add(".pruned.corollary2", rules.corollary2);
+}
+
+void EmitPruningBreakdown(const SearchStats& stats) {
+  obs::Registry* registry = obs::GlobalMetrics();
+  if (registry == nullptr) return;
+  auto add = [&](const char* name, uint64_t value) {
+    registry->GetCounter(name).Add(value);
+  };
+  add("pruning.property1", stats.pruned_by_rule.property1);
+  add("pruning.property2", stats.pruned_by_rule.property2);
+  add("pruning.property3", stats.pruned_by_rule.property3);
+  add("pruning.lemma3", stats.pruned_by_rule.lemma3);
+  add("pruning.lemma4", stats.pruned_by_rule.lemma4);
+  add("pruning.lemma5", stats.pruned_by_rule.lemma5);
+  add("pruning.lemma6", stats.pruned_by_rule.lemma6);
+  add("pruning.corollary2", stats.pruned_by_rule.corollary2);
+  add("pruning.reduced_tree_nodes", stats.nodes_expanded);
+  add("pruning.generated", stats.nodes_generated);
+}
 
 double SlotSequenceDataWait(const IndexTree& tree, const SlotSequence& slots) {
   double total_weight = tree.total_data_weight();

@@ -22,13 +22,69 @@ namespace bcast {
 /// slots[s] = nodes broadcast at slot s (size <= num_channels each).
 using SlotSequence = std::vector<std::vector<NodeId>>;
 
+/// Eliminations attributed to the paper's individual pruning rules. Lemmas 1
+/// and 2 justify the bound itself, so their effect shows up as
+/// SearchStats::bound_cutoffs rather than here; Corollary 1 short-circuits
+/// the search entirely (level allocation) and is counted by the planner.
+struct PruneCounts {
+  uint64_t property1 = 0;   // forced tail once remaining data fits one slot
+  uint64_t property2 = 0;   // k=1 heaviest-subtree candidate pruning (Step 2)
+  uint64_t property3 = 0;   // k>1 candidate characterizations (Step 2)
+  uint64_t lemma3 = 0;      // subset rules: heaviest prefix / child-of-P (Step 3)
+  uint64_t lemma4 = 0;      // local data swap dominance (Step 4(i))
+  uint64_t lemma5 = 0;      // index preorder-rank order (Step 4(ii))
+  uint64_t lemma6 = 0;      // Property 4 exchange argument
+  uint64_t corollary2 = 0;  // extended exchange beyond adjacent slots
+
+  uint64_t Total() const {
+    return property1 + property2 + property3 + lemma3 + lemma4 + lemma5 +
+           lemma6 + corollary2;
+  }
+
+  PruneCounts& operator+=(const PruneCounts& other) {
+    property1 += other.property1;
+    property2 += other.property2;
+    property3 += other.property3;
+    lemma3 += other.lemma3;
+    lemma4 += other.lemma4;
+    lemma5 += other.lemma5;
+    lemma6 += other.lemma6;
+    corollary2 += other.corollary2;
+    return *this;
+  }
+};
+
 /// Instrumentation counters reported by the searches.
 struct SearchStats {
-  uint64_t nodes_expanded = 0;   // topological-tree nodes visited
-  uint64_t nodes_generated = 0;  // next-neighbors created
-  uint64_t nodes_pruned = 0;     // next-neighbors eliminated by the rules
-  uint64_t paths_completed = 0;  // full allocations reached
+  uint64_t nodes_expanded = 0;     // topological-tree nodes visited
+  uint64_t nodes_generated = 0;    // next-neighbors created
+  uint64_t nodes_pruned = 0;       // next-neighbors eliminated by the rules
+  uint64_t paths_completed = 0;    // full allocations reached
+  uint64_t bound_cutoffs = 0;      // subtrees cut by the Lemma 1/2 lower bound
+  uint64_t incumbent_updates = 0;  // times a new best allocation was adopted
+  uint64_t dominance_skips = 0;    // best-first closed-set dominance skips
+  PruneCounts pruned_by_rule;      // attribution of nodes_pruned (see above)
+
+  SearchStats& operator+=(const SearchStats& other) {
+    nodes_expanded += other.nodes_expanded;
+    nodes_generated += other.nodes_generated;
+    nodes_pruned += other.nodes_pruned;
+    paths_completed += other.paths_completed;
+    bound_cutoffs += other.bound_cutoffs;
+    incumbent_updates += other.incumbent_updates;
+    dominance_skips += other.dominance_skips;
+    pruned_by_rule += other.pruned_by_rule;
+    return *this;
+  }
 };
+
+/// Folds `stats` into the global metrics registry under `prefix` (e.g.
+/// "search.topo_dfs"). No-op when no registry is installed.
+void EmitSearchStats(const char* prefix, const SearchStats& stats);
+
+/// Emits the deterministic per-rule breakdown under the thread-invariant
+/// "pruning." namespace. No-op when no registry is installed.
+void EmitPruningBreakdown(const SearchStats& stats);
 
 /// The outcome of an allocation algorithm.
 struct AllocationResult {

@@ -5,6 +5,7 @@
 
 #include "alloc/data_tree.h"
 #include "alloc/heuristics.h"
+#include "obs/obs.h"
 
 namespace bcast {
 
@@ -32,6 +33,9 @@ Result<AllocationResult> LevelAllocation(const IndexTree& tree,
         std::to_string(tree.max_level_width()) + " channels (widest level), got " +
         std::to_string(num_channels));
   }
+  // Corollary 1: with channels >= the widest level, broadcasting level by
+  // level is optimal and no search runs at all.
+  obs::GetCounter("planner.corollary1_level_allocations").Increment();
   return FinishFromSlots(tree, num_channels, tree.LevelNodes());
 }
 

@@ -154,6 +154,7 @@ Status DataTreeSearch::Dfs(Context* ctx) {
     } else if (ctx->v < ctx->best_v) {
       ctx->best_v = ctx->v;
       ctx->best_order = ctx->order;
+      ++ctx->stats.incumbent_updates;
     }
     return Status::Ok();
   }
@@ -183,9 +184,11 @@ Status DataTreeSearch::Dfs(Context* ctx) {
       if (tree_.weight(prev) <
           static_cast<double>(excl + 1) * tree_.weight(head)) {
         ++ctx->stats.nodes_pruned;
+        ++ctx->stats.pruned_by_rule.lemma6;
         return Status::Ok();
       }
     }
+    ++ctx->stats.pruned_by_rule.property1;
     ++ctx->stats.paths_completed;
     if (ctx->mode == Context::Mode::kCount) {
       ++ctx->count;
@@ -197,6 +200,7 @@ Status DataTreeSearch::Dfs(Context* ctx) {
       double total = ctx->v + CompletionCost(ctx->chosen_data, ctx->position);
       if (total < ctx->best_v) {
         ctx->best_v = total;
+        ++ctx->stats.incumbent_updates;
         ctx->best_order = ctx->order;
         for (NodeId d : data_by_weight_) {
           if ((ctx->chosen_data & Bit(d)) == 0) ctx->best_order.push_back(d);
@@ -215,6 +219,14 @@ Status DataTreeSearch::Dfs(Context* ctx) {
   std::vector<NodeId>& eligible = ctx->eligible_scratch[depth];
   EligibleData(ctx->chosen_data, &eligible);
   ctx->stats.nodes_generated += eligible.size();
+  if (options_.lemma3_group_order) {
+    // Lemma 3 suppresses every unchosen data node that is not its sibling
+    // group's heaviest remaining member — eligible never contains them.
+    const uint64_t unchosen = static_cast<uint64_t>(data_nodes_.size()) -
+                              static_cast<uint64_t>(
+                                  std::popcount(ctx->chosen_data & all_data_mask_));
+    ctx->stats.pruned_by_rule.lemma3 += unchosen - eligible.size();
+  }
 
   if (ctx->mode == Context::Mode::kOptimize && eligible.size() > 1) {
     // Visit high-density picks first (weight per bucket including the index
@@ -248,6 +260,7 @@ Status DataTreeSearch::Dfs(Context* ctx) {
       if (static_cast<double>(nanc_size + 1) * tree_.weight(prev) <
           static_cast<double>(excl + 1) * tree_.weight(d)) {
         ++ctx->stats.nodes_pruned;
+        ++ctx->stats.pruned_by_rule.lemma6;
         continue;
       }
     }
@@ -268,6 +281,7 @@ Status DataTreeSearch::Dfs(Context* ctx) {
         double w_b = tree_.weight(d);
         if (n_b * w_a < n_a * w_b) {
           ++ctx->stats.nodes_pruned;
+          ++ctx->stats.pruned_by_rule.corollary2;
           continue;
         }
       }
@@ -281,6 +295,7 @@ Status DataTreeSearch::Dfs(Context* ctx) {
                                              new_position) >= ctx->best_v) {
       // Branch and bound on the admissible completion bound.
       ++ctx->stats.nodes_pruned;
+      ++ctx->stats.bound_cutoffs;
       continue;
     }
 
@@ -329,6 +344,7 @@ Result<AllocationResult> DataTreeSearch::FindOptimal() {
   result.slots = BroadcastFromDataOrder(tree_, ctx.best_order);
   result.average_data_wait = ctx.best_v / tree_.total_data_weight();
   result.stats = ctx.stats;
+  EmitSearchStats("search.data_tree", result.stats);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "alloc/data_tree.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "verify/verifier.h"
 
@@ -184,12 +185,18 @@ Result<AllocationResult> SortingHeuristic(const IndexTree& tree,
   }
   if (num_channels < 1) return InvalidArgumentError("need at least one channel");
 
-  std::vector<NodeId> order = SortedPreorder(tree);
+  obs::ScopedSpan span("heuristics.sort");
+  std::vector<NodeId> order;
+  {
+    obs::ScopedTimer timer(obs::GetHistogram("heuristics.sort.order_ns"));
+    order = SortedPreorder(tree);
+  }
   AllocationResult result;
   if (num_channels == 1) {
     result.slots.reserve(order.size());
     for (NodeId id : order) result.slots.push_back({id});
   } else {
+    obs::ScopedTimer timer(obs::GetHistogram("heuristics.sort.pack_ns"));
     result.slots = OneToKAllocation(tree, num_channels, order);
   }
   BCAST_RETURN_IF_ERROR(ValidateSlotSequence(tree, num_channels, result.slots));
@@ -341,6 +348,7 @@ Result<std::vector<NodeId>> ShrinkSolveOrder(const IndexTree& tree,
   const int limit = options.exact_size_limit;
   if (tree.num_nodes() <= limit) {
     // Exact single-channel order via the data-tree search.
+    obs::ScopedTimer timer(obs::GetHistogram("heuristics.shrink.exact_ns"));
     DataTreeOptions dt_options;
     auto search = DataTreeSearch::Create(tree, dt_options);
     if (!search.ok()) return search.status();
@@ -356,7 +364,10 @@ Result<std::vector<NodeId>> ShrinkSolveOrder(const IndexTree& tree,
 
   if (options.strategy == ShrinkOptions::Strategy::kNodeCombination) {
     WorkTree wt = MakeWorkTree(tree, to_orig);
-    CombineUntil(&wt, limit);
+    {
+      obs::ScopedTimer timer(obs::GetHistogram("heuristics.shrink.combine_ns"));
+      CombineUntil(&wt, limit);
+    }
     IndexTree combined;
     std::vector<std::vector<NodeId>> expansions;
     EmitWorkTree(wt, tree.root(), &combined, kInvalidNode, &expansions);
@@ -378,6 +389,7 @@ Result<std::vector<NodeId>> ShrinkSolveOrder(const IndexTree& tree,
 
   // Tree partitioning: solve each root subtree independently; merge in the
   // paper's sorted order.
+  obs::GetCounter("heuristics.shrink.partitions").Increment();
   NodeId root = tree.root();
   if (tree.is_data(root)) {
     return std::vector<NodeId>{to_orig[static_cast<size_t>(root)]};
@@ -412,6 +424,8 @@ Result<AllocationResult> ShrinkingHeuristic(const IndexTree& tree,
     return InvalidArgumentError("exact_size_limit must be in [1, 64]");
   }
 
+  obs::ScopedSpan span("heuristics.shrink");
+  obs::ScopedTimer total_timer(obs::GetHistogram("heuristics.shrink.total_ns"));
   std::vector<NodeId> identity(static_cast<size_t>(tree.num_nodes()));
   for (NodeId id = 0; id < tree.num_nodes(); ++id) {
     identity[static_cast<size_t>(id)] = id;
@@ -420,7 +434,10 @@ Result<AllocationResult> ShrinkingHeuristic(const IndexTree& tree,
   if (!order.ok()) return order.status();
 
   AllocationResult result;
-  result.slots = PackLinearOrder(tree, num_channels, *order);
+  {
+    obs::ScopedTimer timer(obs::GetHistogram("heuristics.shrink.pack_ns"));
+    result.slots = PackLinearOrder(tree, num_channels, *order);
+  }
   BCAST_RETURN_IF_ERROR(ValidateSlotSequence(tree, num_channels, result.slots));
   result.average_data_wait = SlotSequenceDataWait(tree, result.slots);
   BCAST_DCHECK_OK(AllocationVerifier(tree)

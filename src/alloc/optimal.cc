@@ -5,8 +5,34 @@
 #include "alloc/topo_parallel.h"
 #include "alloc/topo_search.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 
 namespace bcast {
+
+namespace {
+
+// Budget for the deterministic pruning-breakdown recount. Snapshot-only work
+// (it never runs without a registry installed), so it is capped well below
+// the optimizer's own expansion limit and simply marks itself truncated when
+// the reduced tree is larger.
+constexpr uint64_t kBreakdownNodeLimit = 2'000'000;
+
+// The acceptance contract for "per-rule counters identical across thread
+// counts": re-enumerate the reduced tree without bound or incumbent, whose
+// stats are a pure function of (tree, options), and publish that under
+// "pruning.*". The live engine counters (search.*) stay as run-varying
+// telemetry.
+void EmitDeterministicBreakdown(TopoTreeSearch* search) {
+  if (!obs::MetricsEnabled()) return;
+  auto stats = search->ReducedTreeStats(kBreakdownNodeLimit);
+  if (!stats.ok()) {
+    obs::GetCounter("pruning.breakdown_truncated").Increment();
+    return;
+  }
+  EmitPruningBreakdown(*stats);
+}
+
+}  // namespace
 
 Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
                                                int num_channels,
@@ -27,7 +53,11 @@ Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
     dt_options.max_steps = options.max_expansions;
     auto search = DataTreeSearch::Create(tree, dt_options);
     if (!search.ok()) return search.status();
-    return search->FindOptimal();
+    auto result = search->FindOptimal();
+    // The data-tree search is sequential, so its live per-rule counts are
+    // already deterministic — publish them as the breakdown directly.
+    if (result.ok()) EmitPruningBreakdown(result->stats);
+    return result;
   }
   TopoTreeSearch::Options topo_options;
   topo_options.num_channels = num_channels;
@@ -37,6 +67,7 @@ Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
   topo_options.max_expansions = options.max_expansions;
   auto search = TopoTreeSearch::Create(tree, topo_options);
   if (!search.ok()) return search.status();
+  EmitDeterministicBreakdown(&*search);
   int threads = options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
                                          : options.num_threads;
   if (threads > 1) return FindOptimalTopoParallel(*search, threads);

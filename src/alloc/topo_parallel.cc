@@ -31,6 +31,32 @@ void TopoBnbProblem::Expand(const BnbState& state,
             [&](uint64_t a, uint64_t b) { return search_.SubsetLess(a, b); });
   nodes_generated_.fetch_add(local.nodes_generated, std::memory_order_relaxed);
   nodes_pruned_.fetch_add(local.nodes_pruned, std::memory_order_relaxed);
+  const PruneCounts& rules = local.pruned_by_rule;
+  if (rules.property2 != 0) {
+    pruned_property2_.fetch_add(rules.property2, std::memory_order_relaxed);
+  }
+  if (rules.property3 != 0) {
+    pruned_property3_.fetch_add(rules.property3, std::memory_order_relaxed);
+  }
+  if (rules.lemma3 != 0) {
+    pruned_lemma3_.fetch_add(rules.lemma3, std::memory_order_relaxed);
+  }
+  if (rules.lemma4 != 0) {
+    pruned_lemma4_.fetch_add(rules.lemma4, std::memory_order_relaxed);
+  }
+  if (rules.lemma5 != 0) {
+    pruned_lemma5_.fetch_add(rules.lemma5, std::memory_order_relaxed);
+  }
+}
+
+PruneCounts TopoBnbProblem::pruned_by_rule() const {
+  PruneCounts rules;
+  rules.property2 = pruned_property2_.load(std::memory_order_relaxed);
+  rules.property3 = pruned_property3_.load(std::memory_order_relaxed);
+  rules.lemma3 = pruned_lemma3_.load(std::memory_order_relaxed);
+  rules.lemma4 = pruned_lemma4_.load(std::memory_order_relaxed);
+  rules.lemma5 = pruned_lemma5_.load(std::memory_order_relaxed);
+  return rules;
 }
 
 BnbState TopoBnbProblem::Child(const BnbState& state, uint64_t subset) const {
@@ -68,6 +94,10 @@ Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
   result.stats.nodes_generated = problem.nodes_generated();
   result.stats.nodes_pruned = problem.nodes_pruned();
   result.stats.paths_completed = parallel->stats.paths_completed;
+  result.stats.bound_cutoffs = parallel->stats.bound_pruned;
+  result.stats.incumbent_updates = parallel->stats.incumbent_updates;
+  result.stats.pruned_by_rule = problem.pruned_by_rule();
+  EmitSearchStats("search.topo_parallel", result.stats);
   BCAST_DCHECK_OK(AllocationVerifier(tree)
                       .VerifySlots(search.options().num_channels, result.slots,
                                    result.average_data_wait)

@@ -47,10 +47,19 @@ class TopoBnbProblem : public BnbProblem {
     return nodes_pruned_.load(std::memory_order_relaxed);
   }
 
+  /// Per-rule totals accumulated across every Expand call. Relaxed reads —
+  /// call after the engine joined for exact values.
+  PruneCounts pruned_by_rule() const;
+
  private:
   const TopoTreeSearch& search_;
   mutable std::atomic<uint64_t> nodes_generated_{0};
   mutable std::atomic<uint64_t> nodes_pruned_{0};
+  mutable std::atomic<uint64_t> pruned_property2_{0};
+  mutable std::atomic<uint64_t> pruned_property3_{0};
+  mutable std::atomic<uint64_t> pruned_lemma3_{0};
+  mutable std::atomic<uint64_t> pruned_lemma4_{0};
+  mutable std::atomic<uint64_t> pruned_lemma5_{0};
 };
 
 /// Runs the parallel branch-and-bound over the (possibly reduced)

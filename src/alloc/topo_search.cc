@@ -109,6 +109,7 @@ void TopoTreeSearch::GenerateNeighbors(uint64_t mask, uint64_t last_set,
 
   // ---- Appendix Step 2: prune the candidate set. --------------------------
   if (options_.prune_candidates) {
+    const size_t candidates_before = candidates.size();
     std::vector<NodeId> pruned;
     pruned.reserve(candidates.size());
     if (p_all_index) {
@@ -161,6 +162,17 @@ void TopoTreeSearch::GenerateNeighbors(uint64_t mask, uint64_t last_set,
       }
     }
     candidates = std::move(pruned);
+    if (stats != nullptr && candidates_before > candidates.size()) {
+      // Candidate-level drops (they never become subsets, so they are not
+      // part of nodes_generated / nodes_pruned): Property 2 justifies the
+      // single-channel characterizations, Property 3 the k > 1 ones.
+      const uint64_t dropped = candidates_before - candidates.size();
+      if (k == 1) {
+        stats->pruned_by_rule.property2 += dropped;
+      } else {
+        stats->pruned_by_rule.property3 += dropped;
+      }
+    }
     if (candidates.empty()) return;  // dead end; a sibling branch survives
   }
 
@@ -207,16 +219,26 @@ void TopoTreeSearch::GenerateNeighbors(uint64_t mask, uint64_t last_set,
                                generated.push_back(sm);
                              });
     }
-    // Rule (ii): with an all-index P and k > 1, a subset must contain at
-    // least one child of an element of P.
-    if (p_all_index && k != 1) {
-      std::erase_if(generated, [&](uint64_t sm) {
-        bool has_child = false;
-        ForEachBit(sm, [&](NodeId id) { has_child = has_child || is_child_of_p(id); });
-        if (!has_child && stats != nullptr) ++stats->nodes_pruned;
-        return !has_child;
-      });
-    }
+  }
+
+  // nodes_generated counts every formed subset, including those the Step 3
+  // rule (ii) and Step 4 erase_ifs below then eliminate, so for the
+  // sequential DFS nodes_expanded == 1 + nodes_generated - nodes_pruned -
+  // bound_cutoffs holds exactly (the differential harness asserts it).
+  if (stats != nullptr) stats->nodes_generated += generated.size();
+
+  // Rule (ii): with an all-index P and k > 1, a subset must contain at
+  // least one child of an element of P.
+  if (options_.prune_candidates && p_all_index && k != 1) {
+    std::erase_if(generated, [&](uint64_t sm) {
+      bool has_child = false;
+      ForEachBit(sm, [&](NodeId id) { has_child = has_child || is_child_of_p(id); });
+      if (!has_child && stats != nullptr) {
+        ++stats->nodes_pruned;
+        ++stats->pruned_by_rule.lemma3;
+      }
+      return !has_child;
+    });
   }
 
   // ---- Appendix Step 4: local-swap elimination. ----------------------------
@@ -236,22 +258,30 @@ void TopoTreeSearch::GenerateNeighbors(uint64_t mask, uint64_t last_set,
           }
         }
         if (child_in_subset) continue;
-        bool eliminate = false;
+        bool data_swap = false;
+        bool index_swap = false;
         ForEachBit(subset, [&](NodeId y) {
-          if (eliminate || is_child_of_p(y)) return;
+          if (data_swap || index_swap || is_child_of_p(y)) return;
           if (tree_.is_data(y)) {
-            // Step 4(i): a data node could be swapped one slot earlier with
-            // index node x — strictly better, so this subset cannot be on an
-            // optimal path.
-            eliminate = true;
+            // Step 4(i), Lemma 4: a data node could be swapped one slot
+            // earlier with index node x — strictly better, so this subset
+            // cannot be on an optimal path.
+            data_swap = true;
           } else if (tree_.node(y).preorder_rank > tree_.node(x).preorder_rank) {
-            // Step 4(ii): two swappable index nodes; keep only the canonical
-            // order (Section 3.2's unique index weights).
-            eliminate = true;
+            // Step 4(ii), Lemma 5: two swappable index nodes; keep only the
+            // canonical order (Section 3.2's unique index weights).
+            index_swap = true;
           }
         });
-        if (eliminate) {
-          if (stats != nullptr) ++stats->nodes_pruned;
+        if (data_swap || index_swap) {
+          if (stats != nullptr) {
+            ++stats->nodes_pruned;
+            if (data_swap) {
+              ++stats->pruned_by_rule.lemma4;
+            } else {
+              ++stats->pruned_by_rule.lemma5;
+            }
+          }
           return true;
         }
       }
@@ -259,7 +289,6 @@ void TopoTreeSearch::GenerateNeighbors(uint64_t mask, uint64_t last_set,
     });
   }
 
-  if (stats != nullptr) stats->nodes_generated += generated.size();
   *out = std::move(generated);
 }
 
@@ -330,6 +359,7 @@ Status TopoTreeSearch::Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set,
     } else if (ctx->mode == DfsContext::Mode::kOptimize && v < ctx->best_v) {
       ctx->best_v = v;
       ctx->best_path = ctx->current_path;
+      ++ctx->stats.incumbent_updates;
     }
     return Status::Ok();
   }
@@ -346,7 +376,11 @@ Status TopoTreeSearch::Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set,
   for (uint64_t subset : neighbors) {
     double nv = v + SetDataWeight(subset) * static_cast<double>(depth + 1);
     if (ctx->mode == DfsContext::Mode::kOptimize) {
-      if (nv + LowerBound(mask | subset, depth + 1) >= ctx->best_v) continue;
+      // Lemmas 1/2: V + U is a lower bound on any completion through subset.
+      if (nv + LowerBound(mask | subset, depth + 1) >= ctx->best_v) {
+        ++ctx->stats.bound_cutoffs;
+        continue;
+      }
     }
     ctx->current_path.push_back(subset);
     Status status = Dfs(ctx, mask | subset, subset, depth + 1, nv);
@@ -388,6 +422,19 @@ Result<uint64_t> TopoTreeSearch::CountTreeNodes(uint64_t limit) {
   return ctx.count;
 }
 
+Result<SearchStats> TopoTreeSearch::ReducedTreeStats(uint64_t limit) {
+  // Full enumeration of the reduced tree (no bound, no incumbent), so the
+  // per-rule counts depend only on the tree and the options — in particular
+  // they are identical whatever thread count the optimizing engine used.
+  DfsContext ctx;
+  ctx.mode = DfsContext::Mode::kCountNodes;
+  ctx.limit = limit;
+  NodeId root = tree_.root();
+  double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
+  BCAST_RETURN_IF_ERROR(Dfs(&ctx, Bit(root), Bit(root), 1, v0));
+  return ctx.stats;
+}
+
 Result<AllocationResult> TopoTreeSearch::FindOptimalDfs() {
   DfsContext ctx;
   ctx.mode = DfsContext::Mode::kOptimize;
@@ -401,6 +448,7 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalDfs() {
   result.slots = CompoundPathToSlots(root, ctx.best_path);
   result.average_data_wait = ctx.best_v / tree_.total_data_weight();
   result.stats = ctx.stats;
+  EmitSearchStats("search.topo_dfs", result.stats);
   // Debug builds statically verify every search product: feasibility of the
   // slot sequence and the accumulated V against an independent recount.
   BCAST_DCHECK_OK(AllocationVerifier(tree_)
@@ -483,6 +531,7 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst() {
       result.average_data_wait = node.v / tree_.total_data_weight();
       result.stats = stats;
       result.stats.paths_completed = 1;
+      EmitSearchStats("search.topo_best_first", result.stats);
       BCAST_DCHECK_OK(AllocationVerifier(tree_)
                           .VerifySlots(options_.num_channels, result.slots,
                                        result.average_data_wait)
@@ -490,7 +539,10 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst() {
       return result;
     }
     uint64_t key = state_key(node.mask, node.last_set);
-    if (dominated(key, node.depth, node.v)) continue;
+    if (dominated(key, node.depth, node.v)) {
+      ++stats.dominance_skips;
+      continue;
+    }
     seen[key].push_back({node.depth, node.v});
 
     ++stats.nodes_expanded;
@@ -506,7 +558,10 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst() {
       double child_v =
           node.v + SetDataWeight(subset) * static_cast<double>(child_depth);
       uint64_t child_key = state_key(child_mask, subset);
-      if (dominated(child_key, child_depth, child_v)) continue;
+      if (dominated(child_key, child_depth, child_v)) {
+        ++stats.dominance_skips;
+        continue;
+      }
       arena.push_back({child_mask, subset, child_v, child_depth, top.arena_index});
       open.push({child_v + LowerBound(child_mask, child_depth), child_v,
                  static_cast<int>(arena.size()) - 1});

@@ -81,6 +81,13 @@ class TopoTreeSearch {
   /// measure visible in Figs. 6/7 versus Figs. 9/10.
   Result<uint64_t> CountTreeNodes(uint64_t limit);
 
+  /// Full enumeration of the (possibly reduced) tree returning the complete
+  /// SearchStats — in particular the per-rule PruneCounts. Unlike the
+  /// optimizers this walk never consults a bound or incumbent, so its counts
+  /// are a pure function of (tree, options): identical across runs and
+  /// thread counts. RESOURCE_EXHAUSTED beyond `limit` visited nodes.
+  Result<SearchStats> ReducedTreeStats(uint64_t limit);
+
   /// Exact optimum by depth-first branch-and-bound.
   Result<AllocationResult> FindOptimalDfs();
 

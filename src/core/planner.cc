@@ -2,9 +2,12 @@
 
 #include <utility>
 
+#include <string>
+
 #include "alloc/baselines.h"
 #include "broadcast/schedule_builder.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 #include "verify/verifier.h"
 
 namespace bcast {
@@ -68,6 +71,8 @@ Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
     return InvalidArgumentError("need at least one channel");
   }
 
+  obs::ScopedSpan span("plan");
+  obs::ScopedTimer timer(obs::GetHistogram("plan.total_ns"));
   PlanStrategy strategy = options.strategy;
   AllocationResult allocation;
   if (strategy == PlanStrategy::kAuto) {
@@ -101,6 +106,13 @@ Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
     auto result = RunStrategy(tree, options, strategy);
     if (!result.ok()) return result.status();
     allocation = std::move(result).value();
+  }
+
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("planner.plans").Increment();
+    obs::GetCounter(std::string("planner.strategy.") +
+                    PlanStrategyName(strategy))
+        .Increment();
   }
 
   auto schedule =
@@ -149,6 +161,7 @@ std::vector<Result<BroadcastPlan>> PlanMany(
     return results;
   }
 
+  obs::ScopedSpan span("plan_many");
   ThreadPool pool(num_threads);
   TaskGroup group(&pool);
   // Each task writes only its own slot; the vector itself is not resized

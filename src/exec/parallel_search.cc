@@ -11,6 +11,9 @@
 #include <utility>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace bcast {
@@ -93,13 +96,23 @@ class TranspositionCache {
     }
     // The new state survives; drop entries it dominates by the same rule so
     // each (mask, last_set) keeps only its Pareto frontier.
+    const size_t before = entries.size();
     std::erase_if(entries, [&](const Entry& entry) {
       return entry.last_set == state.last_set && state.depth <= entry.depth &&
              (state.v < entry.v ||
               (state.v == entry.v && PathLexLess(problem_, prefix, entry.prefix)));
     });
+    evictions_.fetch_add(before - entries.size(), std::memory_order_relaxed);
     entries.push_back(Entry{state.last_set, state.depth, state.v, prefix});
+    inserts_.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
+
+  uint64_t insert_count() const {
+    return inserts_.load(std::memory_order_relaxed);
+  }
+  uint64_t eviction_count() const {
+    return evictions_.load(std::memory_order_relaxed);
   }
 
   uint64_t TotalEntries() const {
@@ -133,6 +146,8 @@ class TranspositionCache {
 
   const BnbProblem& problem_;
   std::vector<Shard> shards_;
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -180,14 +195,39 @@ class Engine {
     result.stats.paths_completed = completed_.load(std::memory_order_relaxed);
     result.stats.bound_pruned = bound_pruned_.load(std::memory_order_relaxed);
     result.stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    // Every survivor of the dominance check was inserted, so inserts = misses.
+    result.stats.cache_misses = cache_ ? cache_->insert_count() : 0;
+    result.stats.cache_evictions = cache_ ? cache_->eviction_count() : 0;
     result.stats.cache_entries = cache_ ? cache_->TotalEntries() : 0;
     result.stats.incumbent_updates =
         incumbent_updates_.load(std::memory_order_relaxed);
     result.stats.threads_used = num_threads_;
+    EmitStats(result.stats);
     return result;
   }
 
  private:
+  // Run-varying engine telemetry (documented as such in docs/FORMATS.md —
+  // steal timing makes these legitimately differ run to run, unlike the
+  // deterministic "pruning.*" breakdown).
+  static void EmitStats(const ParallelSearchStats& stats) {
+    obs::Registry* registry = obs::GlobalMetrics();
+    if (registry == nullptr) return;
+    auto add = [&](const char* name, uint64_t value) {
+      registry->GetCounter(name).Add(value);
+    };
+    add("search.parallel.nodes_expanded", stats.nodes_expanded);
+    add("search.parallel.paths_completed", stats.paths_completed);
+    add("search.parallel.bound_pruned", stats.bound_pruned);
+    add("search.parallel.cache.hits", stats.cache_hits);
+    add("search.parallel.cache.misses", stats.cache_misses);
+    add("search.parallel.cache.evictions", stats.cache_evictions);
+    add("search.parallel.cache.entries", stats.cache_entries);
+    add("search.parallel.incumbent_updates", stats.incumbent_updates);
+    registry->GetGauge("search.parallel.threads_used")
+        .Set(stats.threads_used);
+  }
+
   // Expands one state. `prefix` holds the subsets placed after the root, the
   // last being state.last_set (empty for the root itself); it is mutated
   // in place during inline recursion and restored before returning.
@@ -322,6 +362,8 @@ Result<ParallelSearchResult> RunParallelSearch(
                           ? ThreadPool::HardwareConcurrency()
                           : options.num_threads;
   Engine engine(problem, options, threads);
+  obs::ScopedSpan span("parallel_search.run");
+  obs::ScopedTimer timer(obs::GetHistogram("search.parallel.run_ns"));
   return engine.Run();
 }
 

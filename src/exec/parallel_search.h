@@ -111,6 +111,8 @@ struct ParallelSearchStats {
   uint64_t paths_completed = 0;   // goal states reached
   uint64_t bound_pruned = 0;      // children cut by the incumbent bound
   uint64_t cache_hits = 0;        // states skipped as memoized-dominated
+  uint64_t cache_misses = 0;      // states that survived the cache check
+  uint64_t cache_evictions = 0;   // dominated entries dropped on insert
   uint64_t cache_entries = 0;     // live entries at the end of the run
   uint64_t incumbent_updates = 0; // times the shared incumbent improved
   int threads_used = 0;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/clock.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace bcast {
@@ -20,6 +22,9 @@ thread_local WorkerIdentity tls_worker;
 
 ThreadPool::ThreadPool(int num_threads) {
   BCAST_CHECK_GE(num_threads, 1) << "thread pool needs at least one worker";
+  // Sampled once: per-task clock reads only happen when someone will consume
+  // them, and the flag never changes while workers are running.
+  record_timing_ = obs::MetricsEnabled();
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -39,6 +44,27 @@ ThreadPool::~ThreadPool() {
   }
   idle_cv_.notify_all();
   for (std::thread& thread : threads_) thread.join();
+
+  // Flush pool telemetry after the join: the worker tallies are stable now,
+  // and a pool that lived through several searches reports its whole life.
+  obs::Registry* registry = obs::GlobalMetrics();
+  if (registry == nullptr) return;
+  uint64_t tasks_run = 0;
+  uint64_t busy_ns = 0;
+  obs::Histogram worker_tasks = registry->GetHistogram("pool.worker_tasks");
+  obs::Histogram worker_busy = registry->GetHistogram("pool.worker_busy_ns");
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    tasks_run += worker->tasks_run;
+    busy_ns += worker->busy_ns;
+    worker_tasks.Record(worker->tasks_run);
+    if (record_timing_) worker_busy.Record(worker->busy_ns);
+  }
+  registry->GetCounter("pool.tasks_run").Add(tasks_run);
+  registry->GetCounter("pool.busy_ns").Add(busy_ns);
+  registry->GetCounter("pool.steals")
+      .Add(steals_.load(std::memory_order_relaxed));
+  registry->GetCounter("pool.failed_steals")
+      .Add(failed_steals_.load(std::memory_order_relaxed));
 }
 
 int ThreadPool::HardwareConcurrency() {
@@ -96,6 +122,7 @@ std::function<void()> ThreadPool::TakeTask(int self) {
       return task;
     }
   }
+  if (n > 1) failed_steals_.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
@@ -107,7 +134,15 @@ void ThreadPool::WorkerLoop(int index) {
       // The decrement happens after the take so pending_ over-approximates
       // runnable work and sleepers never under-wake.
       pending_.fetch_sub(1, std::memory_order_acq_rel);
-      task();
+      Worker& self = *workers_[static_cast<size_t>(index)];
+      if (record_timing_) {
+        const uint64_t begin_ns = obs::MonotonicNanos();
+        task();
+        self.busy_ns += obs::MonotonicNanos() - begin_ns;
+      } else {
+        task();
+      }
+      ++self.tasks_run;
       continue;
     }
     std::unique_lock<std::mutex> lock(idle_mutex_);

@@ -59,10 +59,21 @@ class ThreadPool {
   /// ordering only, exact count).
   uint64_t steal_count() const { return steals_.load(std::memory_order_relaxed); }
 
+  /// Steal scans that came up empty across every victim (a measure of how
+  /// often workers spin hungry; telemetry, exact count).
+  uint64_t failed_steal_count() const {
+    return failed_steals_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Worker {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
+    // Owner-thread tallies: written only by the worker thread that owns this
+    // slot, read by the destructor after join (the join is the sync point),
+    // so they stay plain fields — no atomic traffic on the task hot path.
+    uint64_t tasks_run = 0;
+    uint64_t busy_ns = 0;
   };
 
   void WorkerLoop(int index);
@@ -79,6 +90,8 @@ class ThreadPool {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> next_external_{0};  // round-robin cursor
   std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> failed_steals_{0};
+  bool record_timing_ = false;  // fixed at construction (metrics installed?)
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
 };

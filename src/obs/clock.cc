@@ -1,0 +1,14 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace bcast::obs {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace bcast::obs

@@ -1,0 +1,19 @@
+// The library's single monotonic clock. Every timer, span and busy-time
+// measurement in src/ reads time through MonotonicNanos(), so timing policy
+// (clock choice, resolution) lives in exactly one place — tools/lint.sh
+// enforces that no other file under src/ touches std::chrono directly.
+
+#ifndef BCAST_OBS_CLOCK_H_
+#define BCAST_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace bcast::obs {
+
+/// Nanoseconds on std::chrono::steady_clock. Monotonic, unrelated to wall
+/// time; only differences are meaningful.
+uint64_t MonotonicNanos();
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_CLOCK_H_

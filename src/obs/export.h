@@ -1,0 +1,75 @@
+// Structured export: a small streaming JSON writer shared by the metrics
+// snapshot, the Chrome trace file, and the bench_* emitters, plus the
+// formatters themselves. Snapshot schema is documented in docs/FORMATS.md.
+
+#ifndef BCAST_OBS_EXPORT_H_
+#define BCAST_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace bcast::obs {
+
+/// Appends pretty-printed (2-space indent) JSON to an external string.
+/// Call sequence is validated only loosely — the writer trusts the caller to
+/// alternate Key()/value inside objects; misuse produces malformed output,
+/// not a crash.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void UInt(uint64_t value);
+  void Int(int64_t value);
+  void Double(double value);  // non-finite values are emitted as null
+  void Bool(bool value);
+  void Null();
+
+ private:
+  struct Level {
+    bool array = false;
+    bool first = true;
+  };
+
+  void BeforeValue();
+  void Indent();
+  void Escape(std::string_view raw);
+
+  std::string* out_;
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+/// Renders a snapshot as the versioned JSON document described in
+/// docs/FORMATS.md ("bcast_metrics_version").
+std::string FormatMetricsJson(const MetricsSnapshot& snapshot);
+Status WriteMetricsJson(const MetricsSnapshot& snapshot,
+                        const std::string& path);
+
+/// Renders the recorder's spans as a Chrome trace_event JSON object
+/// ({"traceEvents": [...]}) loadable in chrome://tracing or Perfetto.
+std::string FormatChromeTraceJson(const TraceRecorder& recorder);
+Status WriteChromeTraceJson(const TraceRecorder& recorder,
+                            const std::string& path);
+
+/// Human-readable dump for `bcastctl stats`.
+std::string FormatMetricsHuman(const MetricsSnapshot& snapshot);
+
+/// Writes `contents` to `path` atomically enough for our purposes (single
+/// open/write/close); shared by the exporters and the bench emitters.
+Status WriteTextFile(const std::string& path, std::string_view contents);
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_EXPORT_H_

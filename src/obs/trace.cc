@@ -1,0 +1,51 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+#include "obs/clock.h"
+#include "obs/obs.h"
+
+namespace bcast::obs {
+
+namespace {
+
+// Dense per-process thread ids so trace viewers get stable small lanes.
+int CurrentThreadId() {
+  static std::atomic<int> next_thread_id{0};
+  thread_local int id = next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : origin_ns_(MonotonicNanos()) {}
+
+void TraceRecorder::RecordComplete(std::string name, uint64_t start_ns,
+                                   uint64_t duration_ns) {
+  Event event;
+  event.name = std::move(name);
+  event.start_ns = start_ns >= origin_ns_ ? start_ns - origin_ns_ : 0;
+  event.duration_ns = duration_ns;
+  event.thread_id = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) : recorder_(GlobalTrace()) {
+  if (recorder_ == nullptr) return;
+  name_ = std::string(name);
+  begin_ns_ = MonotonicNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) return;
+  recorder_->RecordComplete(std::move(name_), begin_ns_,
+                            MonotonicNanos() - begin_ns_);
+}
+
+}  // namespace bcast::obs

@@ -1,0 +1,67 @@
+// Lightweight trace spans for the planner / server-cycle / search phases.
+//
+// A span is a named interval on the calling thread; ScopedSpan opens one at
+// construction and closes it at destruction, so nesting falls out of scope
+// nesting. Completed spans are appended to a TraceRecorder as Chrome
+// trace_event "complete" events (obs/export.h renders the file). With no
+// recorder installed a span reads no clock and allocates nothing — the same
+// null-sink contract as the metrics handles.
+
+#ifndef BCAST_OBS_TRACE_H_
+#define BCAST_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bcast::obs {
+
+class TraceRecorder {
+ public:
+  struct Event {
+    std::string name;
+    uint64_t start_ns = 0;     // relative to origin_ns()
+    uint64_t duration_ns = 0;
+    int thread_id = 0;         // small dense id, not an OS tid
+  };
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Appends one completed span. `start_ns` is an absolute MonotonicNanos()
+  /// reading; it is rebased onto origin_ns() so exported timestamps start
+  /// near zero. Thread-safe.
+  void RecordComplete(std::string name, uint64_t start_ns,
+                      uint64_t duration_ns);
+
+  std::vector<Event> Events() const;
+  uint64_t origin_ns() const { return origin_ns_; }
+
+ private:
+  const uint64_t origin_ns_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// RAII span against the globally installed recorder (obs/obs.h). The
+/// recorder is captured at construction, so a span is balanced even if the
+/// global is swapped mid-scope.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  uint64_t begin_ns_ = 0;
+};
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "broadcast/pointers.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace bcast {
@@ -263,9 +264,12 @@ ClientSimulator::QueryOutcome ClientSimulator::AccessOnce(
 }
 
 SimReport ClientSimulator::Run(Rng* rng, const SimOptions& options) const {
+  obs::ScopedSpan span("sim.run");
+  obs::ScopedTimer timer(obs::GetHistogram("sim.run_ns"));
   SimReport report;
   report.num_queries = options.num_queries;
   const double cycle = static_cast<double>(cycle_length_);
+  const uint64_t query_draws_before = rng->draw_count();
 
   // Fault draws live on their own substream: enabling loss never perturbs
   // query sampling, and a zero-loss run makes no fault draws at all — so it
@@ -322,6 +326,20 @@ SimReport ClientSimulator::Run(Rng* rng, const SimOptions& options) const {
     report.p50_access_time = nearest_rank(0.50);
     report.p95_access_time = nearest_rank(0.95);
     report.p99_access_time = nearest_rank(0.99);
+  }
+  report.rng_query_draws = rng->draw_count() - query_draws_before;
+  report.rng_fault_draws = fault_rng.draw_count();
+
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("sim.queries").Add(report.num_queries);
+    obs::GetCounter("sim.succeeded").Add(report.num_succeeded);
+    obs::GetCounter("sim.retries").Add(report.retries);
+    obs::GetCounter("sim.cycle_restarts").Add(report.cycle_restarts);
+    obs::GetCounter("sim.sequential_scans").Add(report.sequential_scans);
+    obs::GetCounter("sim.buckets_lost").Add(report.buckets_lost);
+    obs::GetCounter("sim.buckets_corrupted").Add(report.buckets_corrupted);
+    obs::GetCounter("rng.draws.query").Add(report.rng_query_draws);
+    obs::GetCounter("rng.draws.fault").Add(report.rng_fault_draws);
   }
   return report;
 }

@@ -94,6 +94,13 @@ struct SimReport {
   double p50_access_time = 0.0;
   double p95_access_time = 0.0;
   double p99_access_time = 0.0;
+
+  // --- reproducibility ----------------------------------------------------
+  /// Engine draws consumed from the caller's Rng (query sampling + arrivals)
+  /// and from its kFault substream. Together with the seed these pin the
+  /// exact random prefix a run consumed, so a report is replayable.
+  uint64_t rng_query_draws = 0;
+  uint64_t rng_fault_draws = 0;
 };
 
 /// Simulates clients against one broadcast program — either a plain

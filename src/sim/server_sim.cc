@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/obs.h"
 #include "tree/alphabetic.h"
 #include "util/check.h"
 #include "workload/frequency.h"
@@ -83,10 +84,13 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
   Rng fault_rng = rng->Substream(RngStream::kFault);
   const bool faulty = options.faults.active();
 
+  obs::ScopedSpan run_span("sim.adaptive_server");
   AdaptiveServerReport report;
   report.mean_delivery_success = 0.0;
   int delivered_cycles = 0;
   for (int cycle = 0; cycle < options.num_cycles; ++cycle) {
+    obs::ScopedSpan cycle_span("sim.cycle");
+    obs::GetCounter("sim.cycles").Increment();
     // The cycle needs up to two independent plans: the oracle's (from the
     // true weights, every cycle) and the server's due replan (from the
     // current estimates, never at cycle 0: the initial plan is already in

@@ -32,7 +32,15 @@ class Rng {
       : seed_(seed), engine_(seed) {}
 
   /// Raw 64 uniform bits.
-  uint64_t NextU64() { return engine_(); }
+  uint64_t NextU64() {
+    ++draws_;
+    return engine_();
+  }
+
+  /// Engine invocations so far (every distribution helper bottoms out in
+  /// NextU64). Recording this per substream makes a run reproducible from
+  /// its metrics snapshot: seed + draw counts pin the consumed prefix.
+  uint64_t draw_count() const { return draws_; }
 
   /// Derives the named substream of this generator. The derivation depends
   /// only on the construction seed and the stream name — never on how many
@@ -72,6 +80,7 @@ class Rng {
  private:
   uint64_t seed_;
   std::mt19937_64 engine_;
+  uint64_t draws_ = 0;
   // Box–Muller produces values in pairs; cache the spare.
   bool has_spare_normal_ = false;
   double spare_normal_ = 0.0;

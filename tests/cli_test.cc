@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace bcast {
@@ -323,6 +324,99 @@ TEST(CliTest, TreeAndTreeFileAreExclusive) {
   EXPECT_EQ(
       RunCommand({"info", "--tree", kExampleTree, "--tree-file", "x.txt"}, &out), 1);
   EXPECT_NE(out.find("exactly one"), std::string::npos);
+}
+
+TEST(CliTest, DuplicateFlagsAreRejected) {
+  // Silently keeping the last occurrence hid typos like
+  // `--channels 2 ... --channels 3`; a repeat is now a parse error in both
+  // spellings, and mixing the two spellings of one flag is equally a repeat.
+  std::string out;
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                        "--channels", "3"},
+                       &out),
+            2);
+  EXPECT_NE(out.find("duplicate flag --channels"), std::string::npos);
+  out.clear();
+  EXPECT_EQ(RunCommand({"plan", "--channels=2", "--channels=3"}, &out), 2);
+  EXPECT_NE(out.find("duplicate flag --channels"), std::string::npos);
+  out.clear();
+  EXPECT_EQ(RunCommand({"plan", "--channels=2", "--channels", "3"}, &out), 2);
+  EXPECT_NE(out.find("duplicate flag --channels"), std::string::npos);
+}
+
+TEST(CliTest, MetricsOutWritesVersionedSnapshot) {
+  std::string path = ::testing::TempDir() + "/cli_metrics.json";
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                         "--strategy", "optimal", "--threads", "2",
+                         "--metrics-out", path},
+                        &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("wrote metrics to " + path), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"bcast_metrics_version\": 1"), std::string::npos);
+  // The deterministic per-rule breakdown and the live engine telemetry both
+  // land in the same snapshot.
+  EXPECT_NE(json.find("\"pruning.property3\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"planner.plans\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"command\": \"plan\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, TraceOutWritesChromeTrace) {
+  std::string path = ::testing::TempDir() + "/cli_trace.json";
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                         "--trace-out", path},
+                        &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("wrote trace to " + path), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, StatsSubcommandDumpsCounters) {
+  std::string out;
+  int code = RunCommand({"stats", "--tree", kExampleTree, "--channels", "2",
+                         "--strategy", "optimal"},
+                        &out);
+  EXPECT_EQ(code, 0) << out;
+  // Plan output first, then the human-readable metrics dump.
+  EXPECT_NE(out.find("average data wait"), std::string::npos);
+  EXPECT_NE(out.find("metrics snapshot"), std::string::npos);
+  EXPECT_NE(out.find("planner.plans"), std::string::npos);
+  EXPECT_NE(out.find("pruning.property3"), std::string::npos);
+}
+
+TEST(CliTest, SimulateSnapshotCarriesSeedAndDrawCounts) {
+  std::string path = ::testing::TempDir() + "/cli_sim_metrics.json";
+  std::string out;
+  int code = RunCommand({"simulate", "--tree", kExampleTree, "--queries",
+                         "500", "--seed", "99", "--metrics-out", path},
+                        &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("(seed 99)"), std::string::npos);
+  EXPECT_NE(out.find("rng draws         : 1000 query, 0 fault"),
+            std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"seed\": \"99\""), std::string::npos);
+  // One sampler draw + one arrival draw per query on this lossless run;
+  // the tree substream is registered even when unused.
+  EXPECT_NE(json.find("\"rng.draws.query\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"rng.draws.fault\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"rng.draws.tree\": 0"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -87,6 +87,50 @@ TEST(DifferentialHarnessTest, RandomTreesOptimalVsHeuristicsVsFlat) {
   }
 }
 
+TEST(DifferentialHarnessTest, SequentialDfsNodeConservation) {
+  // Counter-correctness invariant of the instrumented sequential DFS: every
+  // node is the root, or generated and then eliminated by exactly one of
+  // {subset-level pruning rule, bound cutoff}, or expanded:
+  //   nodes_expanded == 1 + nodes_generated - nodes_pruned - bound_cutoffs.
+  // (Properties 2/3 drop candidates before they become generated subsets, so
+  // they appear in pruned_by_rule but in neither nodes_generated nor
+  // nodes_pruned.) The parallel engine over-generates across workers, so
+  // only the sequential engine promises equality.
+  for (uint64_t seed = 0; seed < 120; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed * 0x9E3779B9u + 1);
+    const int num_data = 3 + static_cast<int>(seed % 6);
+    const int max_fanout = 2 + static_cast<int>(seed % 3);
+    IndexTree tree = MakeRandomTree(&rng, num_data, max_fanout);
+    const int k = 1 + static_cast<int>(seed % 3);
+
+    TopoTreeSearch::Options options;
+    options.num_channels = k;
+    options.prune_candidates = true;
+    options.prune_local_swap = true;
+    auto search = TopoTreeSearch::Create(tree, options);
+    ASSERT_TRUE(search.ok()) << search.status().ToString();
+    auto result = search->FindOptimalDfs();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const SearchStats& stats = result->stats;
+    EXPECT_EQ(stats.nodes_expanded, 1 + stats.nodes_generated -
+                                        stats.nodes_pruned -
+                                        stats.bound_cutoffs);
+    EXPECT_GE(stats.paths_completed, 1u);
+    EXPECT_GE(stats.incumbent_updates, 1u);
+    // The subset-level per-rule tally must reconcile with nodes_pruned.
+    EXPECT_EQ(stats.nodes_pruned, stats.pruned_by_rule.lemma3 +
+                                      stats.pruned_by_rule.lemma4 +
+                                      stats.pruned_by_rule.lemma5);
+
+    // The parallel engine can only over-count work, never under-count paths.
+    auto parallel = FindOptimalTopoParallel(*search, 4);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_GE(parallel->stats.nodes_expanded, 1u);
+    EXPECT_GE(parallel->stats.incumbent_updates, 1u);
+  }
+}
+
 TEST(DifferentialHarnessTest, ParallelSearchIsThreadCountInvariant) {
   // The determinism contract of the parallel engine (exec/parallel_search.h):
   // for every thread count the returned allocation is BYTE-IDENTICAL to the

@@ -1,0 +1,208 @@
+// The observability layer itself: null-sink contract, counter sharding under
+// concurrency, histogram bucketing, snapshot aggregation, JSON/trace export,
+// and the scoped global install/restore.
+
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/export.h"
+
+namespace bcast::obs {
+namespace {
+
+const HistogramSnapshot& FindHistogram(const MetricsSnapshot& snapshot,
+                                       const std::string& name) {
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name == name) return h;
+  }
+  static const HistogramSnapshot empty;
+  ADD_FAILURE() << "histogram '" << name << "' not in snapshot";
+  return empty;
+}
+
+TEST(ObsTest, NullHandlesAreSafeNoOps) {
+  // Default-constructed handles (what every instrumentation site gets when
+  // no registry is installed) must absorb all operations.
+  Counter counter;
+  counter.Increment();
+  counter.Add(17);
+  EXPECT_FALSE(static_cast<bool>(counter));
+  Gauge gauge;
+  gauge.Set(5);
+  gauge.Add(-2);
+  EXPECT_FALSE(static_cast<bool>(gauge));
+  Histogram histogram;
+  histogram.Record(123);
+  EXPECT_FALSE(static_cast<bool>(histogram));
+  // Free functions with nothing installed return null handles.
+  ASSERT_EQ(GlobalMetrics(), nullptr);
+  EXPECT_FALSE(MetricsEnabled());
+  GetCounter("x").Increment();
+  GetGauge("x").Set(1);
+  GetHistogram("x").Record(1);
+  SetMeta("k", "v");
+  { ScopedSpan span("no recorder installed"); }
+  { ScopedTimer timer(Histogram{}); }
+}
+
+TEST(ObsTest, CounterAccumulatesAndSnapshots) {
+  Registry registry;
+  registry.GetCounter("a").Add(3);
+  registry.GetCounter("a").Increment();
+  registry.GetCounter("b").Add(0);  // registered but zero
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("a"), 4u);
+  EXPECT_EQ(snapshot.counters.at("b"), 0u);
+  EXPECT_EQ(snapshot.CounterOr("missing", 7), 7u);
+}
+
+TEST(ObsTest, CountersSumAcrossThreads) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter counter = registry.GetCounter("hits");
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.Snapshot().counters.at("hits"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsTest, TwoRegistriesDoNotShareShards) {
+  // The thread-local shard cache is keyed by registry uid; interleaving two
+  // registries on one thread must route every Add to the right one.
+  Registry first;
+  Registry second;
+  for (int i = 0; i < 100; ++i) {
+    first.GetCounter("n").Increment();
+    second.GetCounter("n").Add(2);
+  }
+  EXPECT_EQ(first.Snapshot().counters.at("n"), 100u);
+  EXPECT_EQ(second.Snapshot().counters.at("n"), 200u);
+}
+
+TEST(ObsTest, GaugeKeepsLastValue) {
+  Registry registry;
+  registry.GetGauge("g").Set(10);
+  registry.GetGauge("g").Add(-3);
+  EXPECT_EQ(registry.Snapshot().gauges.at("g"), 7);
+}
+
+TEST(ObsTest, HistogramBucketsAndQuantiles) {
+  Registry registry;
+  Histogram histogram = registry.GetHistogram("h");
+  histogram.Record(0);
+  histogram.Record(1);
+  histogram.Record(5);
+  histogram.Record(1000);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot& h = FindHistogram(snapshot, "h");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 1006u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 1000u);
+  uint64_t bucketed = 0;
+  for (const HistogramBucket& bucket : h.buckets) {
+    EXPECT_GT(bucket.count, 0u);  // only non-empty buckets materialize
+    bucketed += bucket.count;
+  }
+  EXPECT_EQ(bucketed, 4u);
+  EXPECT_LE(h.Quantile(0.0), h.Quantile(1.0));
+  EXPECT_LE(h.Quantile(1.0), 1024.0);  // p100 within the top bucket's bound
+}
+
+TEST(ObsTest, MetaIsCopiedIntoSnapshot) {
+  Registry registry;
+  registry.SetMeta("seed", "42");
+  registry.SetMeta("seed", "43");  // last write wins
+  EXPECT_EQ(registry.Snapshot().meta.at("seed"), "43");
+}
+
+TEST(ObsTest, ScopedObservabilityInstallsAndRestores) {
+  ASSERT_EQ(GlobalMetrics(), nullptr);
+  Registry outer;
+  {
+    ScopedObservability outer_scope(&outer, nullptr);
+    EXPECT_EQ(GlobalMetrics(), &outer);
+    EXPECT_TRUE(MetricsEnabled());
+    GetCounter("depth").Increment();
+    Registry inner;
+    {
+      ScopedObservability inner_scope(&inner, nullptr);
+      EXPECT_EQ(GlobalMetrics(), &inner);
+      GetCounter("depth").Increment();
+    }
+    EXPECT_EQ(GlobalMetrics(), &outer);  // previous sink restored
+  }
+  EXPECT_EQ(GlobalMetrics(), nullptr);
+  EXPECT_EQ(outer.Snapshot().counters.at("depth"), 1u);
+}
+
+TEST(ObsTest, MetricsJsonIsVersionedAndEscaped) {
+  Registry registry;
+  registry.SetMeta("args", "--tree \"x\"\n");
+  registry.GetCounter("c.one").Add(5);
+  registry.GetGauge("g").Set(-3);
+  registry.GetHistogram("h").Record(9);
+  std::string json = FormatMetricsJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"bcast_metrics_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"g\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\\\"x\\\"\\n"), std::string::npos)  // escaped meta
+      << json;
+}
+
+TEST(ObsTest, TraceRecorderCapturesSpans) {
+  TraceRecorder recorder;
+  {
+    ScopedObservability scope(nullptr, &recorder);
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+  }
+  std::vector<TraceRecorder::Event> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close inner-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].duration_ns, events[0].duration_ns);
+
+  std::string json = FormatChromeTraceJson(recorder);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+}
+
+TEST(ObsTest, SpanStartedUnderRecorderOutlivesUninstall) {
+  // A span captures its recorder at construction; uninstalling the globals
+  // mid-span must not lose or misroute the event.
+  TraceRecorder recorder;
+  {
+    ScopedObservability scope(nullptr, &recorder);
+    ScopedSpan span("bracketed");
+  }
+  EXPECT_EQ(recorder.Events().size(), 1u);
+}
+
+TEST(ObsTest, MonotonicClockAdvances) {
+  uint64_t a = MonotonicNanos();
+  uint64_t b = MonotonicNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(ObsTest, WriteTextFileRejectsBadPath) {
+  EXPECT_FALSE(WriteTextFile("/nonexistent-dir/x/y.json", "{}").ok());
+}
+
+}  // namespace
+}  // namespace bcast::obs

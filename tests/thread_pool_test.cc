@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace bcast {
 namespace {
 
@@ -108,6 +110,69 @@ TEST(ThreadPoolTest, IdleWorkersStealQueuedBacklog) {
   // drain its own deque before the second ever wakes. The counter is still
   // exercised for the common case.
   (void)pool.steal_count();
+}
+
+TEST(ThreadPoolTest, FlushesStatsIntoInstalledRegistry) {
+  // A pool constructed under a live registry flushes its lifetime totals
+  // (per-worker, owner-thread tallies — no atomics on the task path) into
+  // pool.* at destruction, after the join.
+  obs::Registry registry;
+  {
+    obs::ScopedObservability scope(&registry, nullptr);
+    std::atomic<int> counter{0};
+    {
+      ThreadPool pool(3);
+      for (int i = 0; i < 500; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    }
+    EXPECT_EQ(counter.load(), 500);
+  }
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr("pool.tasks_run", 0), 500u);
+  auto find_histogram =
+      [&snapshot](const std::string& name) -> const obs::HistogramSnapshot* {
+    for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+      if (h.name == name) return &h;
+    }
+    return nullptr;
+  };
+  // One histogram sample per worker.
+  const obs::HistogramSnapshot* worker_tasks = find_histogram("pool.worker_tasks");
+  ASSERT_NE(worker_tasks, nullptr);
+  EXPECT_EQ(worker_tasks->count, 3u);
+  EXPECT_EQ(worker_tasks->sum, 500u);
+  // Steal counters exist (values are scheduling-dependent).
+  EXPECT_EQ(snapshot.counters.count("pool.steals"), 1u);
+  EXPECT_EQ(snapshot.counters.count("pool.failed_steals"), 1u);
+  // Busy-time instrumentation was live (record_timing_ sampled at
+  // construction under the installed registry).
+  const obs::HistogramSnapshot* worker_busy = find_histogram("pool.worker_busy_ns");
+  ASSERT_NE(worker_busy, nullptr);
+  EXPECT_EQ(worker_busy->count, 3u);
+}
+
+TEST(ThreadPoolTest, NoRegistryMeansNoFlushAndNoCrash) {
+  ASSERT_EQ(obs::GlobalMetrics(), nullptr);
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, FailedStealAccessorIsMonotonic) {
+  ThreadPool pool(4);
+  const uint64_t before = pool.failed_steal_count();
+  TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Run([] { std::this_thread::sleep_for(std::chrono::microseconds(10)); });
+  }
+  group.Wait();
+  EXPECT_GE(pool.failed_steal_count(), before);
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "core/bcast.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 namespace bcast {
 
@@ -30,7 +32,14 @@ constexpr char kUsage[] =
     "                [--retries n] [--restarts n] [--scan-passes n]\n"
     "  bcastctl eval --program <path> [--simulate N]\n"
     "  bcastctl verify --program <path>\n"
-    "  bcastctl info --tree <s-expr>|--tree-file <path>\n";
+    "  bcastctl info --tree <s-expr>|--tree-file <path>\n"
+    "  bcastctl stats <plan flags>   # plan, then dump collected metrics\n"
+    "\n"
+    "every command also accepts:\n"
+    "  --metrics-out <path>   write a metrics snapshot (JSON, see\n"
+    "                         docs/FORMATS.md) collected over the command\n"
+    "  --trace-out <path>     write spans as a Chrome trace_event file\n"
+    "                         (load in chrome://tracing or Perfetto)\n";
 
 // Parsed flag/value pairs; accepts both "--flag value" and "--flag=value".
 class FlagMap {
@@ -44,14 +53,21 @@ class FlagMap {
       }
       size_t equals = args[i].find('=');
       if (equals != std::string::npos) {
-        flags.values_[args[i].substr(2, equals - 2)] =
-            args[i].substr(equals + 1);
+        std::string name = args[i].substr(2, equals - 2);
+        if (flags.values_.count(name) != 0) {
+          return InvalidArgumentError("duplicate flag --" + name);
+        }
+        flags.values_[name] = args[i].substr(equals + 1);
         continue;
       }
       if (i + 1 >= args.size()) {
         return InvalidArgumentError("flag " + args[i] + " is missing a value");
       }
-      flags.values_[args[i].substr(2)] = args[i + 1];
+      std::string name = args[i].substr(2);
+      if (flags.values_.count(name) != 0) {
+        return InvalidArgumentError("duplicate flag --" + name);
+      }
+      flags.values_[name] = args[i + 1];
       ++i;
     }
     return flags;
@@ -330,6 +346,15 @@ Status CmdSimulate(const FlagMap& flags, std::ostringstream* os) {
   }
   *os << "\n";
 
+  if (obs::MetricsEnabled()) {
+    // Seed + per-substream draw counts (rng.draws.*) make a snapshot enough
+    // to replay the run: they pin exactly which random prefix was consumed.
+    // Run() emits the query and fault streams; the tree stream is registered
+    // here so the snapshot always carries all three.
+    obs::SetMeta("seed", std::to_string(*seed));
+    obs::GetGauge("run.seed").Set(*seed);
+    obs::GetCounter("rng.draws.tree").Add(0);
+  }
   Rng rng(static_cast<uint64_t>(*seed));
   SimReport report = (*sim)->Run(&rng, sim_options);
   *os << "queries           : " << report.num_queries << " (seed " << *seed
@@ -350,6 +375,8 @@ Status CmdSimulate(const FlagMap& flags, std::ostringstream* os) {
   *os << "recovery          : " << report.retries << " retries, "
       << report.cycle_restarts << " cycle restarts, "
       << report.sequential_scans << " sequential scans\n";
+  *os << "rng draws         : " << report.rng_query_draws << " query, "
+      << report.rng_fault_draws << " fault\n";
   return Status::Ok();
 }
 
@@ -434,6 +461,31 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     *out = flags.status().ToString() + "\n" + kUsage;
     return 2;
   }
+
+  // Observability brackets the whole command: installed before dispatch so
+  // every layer's instrumentation lands in one registry/recorder, torn down
+  // (and the files written) after the command returns. Without one of these
+  // flags nothing is installed and the instrumentation stays a no-op.
+  auto metrics_out = flags->Get("metrics-out");
+  auto trace_out = flags->Get("trace-out");
+  const bool want_obs =
+      metrics_out.has_value() || trace_out.has_value() || args[0] == "stats";
+  std::optional<obs::Registry> registry;
+  std::optional<obs::TraceRecorder> recorder;
+  std::optional<obs::ScopedObservability> scope;
+  if (want_obs) {
+    registry.emplace();
+    recorder.emplace();
+    scope.emplace(&*registry, &*recorder);
+    registry->SetMeta("command", args[0]);
+    std::string joined;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (i > 1) joined += ' ';
+      joined += args[i];
+    }
+    registry->SetMeta("args", joined);
+  }
+
   if (args[0] == "plan") {
     status = CmdPlan(*flags, &os);
   } else if (args[0] == "simulate") {
@@ -444,11 +496,29 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     status = CmdVerify(*flags, &os);
   } else if (args[0] == "info") {
     status = CmdInfo(*flags, &os);
+  } else if (args[0] == "stats") {
+    // `stats` is `plan` with the registry always on and a human-readable
+    // metrics dump appended — the quickest way to see the counters.
+    status = CmdPlan(*flags, &os);
+    if (status.ok()) os << obs::FormatMetricsHuman(registry->Snapshot());
   } else {
     os << "unknown command '" << args[0] << "'\n" << kUsage;
     *out = os.str();
     return 2;
   }
+
+  // Uninstall before snapshotting so totals are exact (workers joined, no
+  // concurrent writers left).
+  scope.reset();
+  if (status.ok() && metrics_out.has_value()) {
+    status = obs::WriteMetricsJson(registry->Snapshot(), *metrics_out);
+    if (status.ok()) os << "wrote metrics to " << *metrics_out << "\n";
+  }
+  if (status.ok() && trace_out.has_value()) {
+    status = obs::WriteChromeTraceJson(*recorder, *trace_out);
+    if (status.ok()) os << "wrote trace to " << *trace_out << "\n";
+  }
+
   if (!status.ok()) {
     os << "error: " << status.ToString() << "\n";
     *out = os.str();

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Enforces the observability overhead budget on bench_micro.
+
+Compares two google-benchmark JSON reports of the same binary — one run with
+the metrics registry disabled (baseline) and one with `--obs` (a live
+registry + trace recorder installed for the whole run) — and fails when the
+geometric-mean slowdown across the shared benchmarks exceeds the budget.
+
+The geometric mean is the right aggregate here: individual microbenchmarks
+jitter by several percent on shared CI runners, but the jitter is symmetric,
+so it cancels across the suite while a systematic instrumentation cost does
+not.
+
+Usage:
+  check_obs_overhead.py baseline.json with_obs.json [--max-overhead 0.05]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_times(path):
+    with open(path) as f:
+        report = json.load(f)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="bench_micro JSON without --obs")
+    parser.add_argument("with_obs", help="bench_micro JSON with --obs")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="allowed geomean slowdown (default 0.05 = 5%%)")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    with_obs = load_times(args.with_obs)
+    shared = sorted(set(baseline) & set(with_obs))
+    if not shared:
+        print("check_obs_overhead: no shared benchmarks between the reports",
+              file=sys.stderr)
+        return 2
+
+    log_sum = 0.0
+    worst = (None, 0.0)
+    for name in shared:
+        if baseline[name] <= 0.0:
+            continue
+        ratio = with_obs[name] / baseline[name]
+        log_sum += math.log(ratio)
+        if ratio > worst[1]:
+            worst = (name, ratio)
+        print(f"  {name:45s} {baseline[name]:12.1f} -> {with_obs[name]:12.1f}"
+              f"  ({100.0 * (ratio - 1.0):+6.2f}%)")
+    geomean = math.exp(log_sum / len(shared))
+
+    print(f"benchmarks compared : {len(shared)}")
+    print(f"geomean overhead    : {100.0 * (geomean - 1.0):+.2f}%"
+          f" (budget {100.0 * args.max_overhead:.0f}%)")
+    print(f"worst case          : {worst[0]} {100.0 * (worst[1] - 1.0):+.2f}%")
+    if geomean - 1.0 > args.max_overhead:
+        print("check_obs_overhead: FAIL — observability overhead exceeds "
+              "budget", file=sys.stderr)
+        return 1
+    print("check_obs_overhead: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,18 @@ fi
 
 STATUS=0
 
+# Timing discipline: all clock reads in the library go through
+# obs::MonotonicNanos (src/obs/clock.h) so instrumentation shares one clock
+# and stays stubbable. Raw std::chrono anywhere else in src/ is a lint error
+# (tests/benches/tools may time however they like).
+CHRONO_HITS=$(grep -rn 'std::chrono\|#include <chrono>' src \
+  --include='*.cc' --include='*.h' 2>/dev/null | grep -v '^src/obs/' || true)
+if [[ -n "$CHRONO_HITS" ]]; then
+  echo "lint.sh: raw std::chrono outside src/obs/ (use obs::MonotonicNanos):" >&2
+  echo "$CHRONO_HITS" >&2
+  STATUS=1
+fi
+
 if command -v clang-format >/dev/null 2>&1; then
   if [[ $FIX -eq 1 ]]; then
     clang-format -i "${FILES[@]}"
