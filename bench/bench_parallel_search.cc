@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/heuristics.h"
 #include "alloc/topo_parallel.h"
 #include "alloc/topo_search.h"
 #include "obs/export.h"
@@ -51,6 +52,13 @@ struct InstanceReport {
   int num_nodes = 0;
   int channels = 0;
   double adw = 0.0;
+  // Sequential DFS expansion counts, unseeded vs seeded with the
+  // SortingHeuristic incumbent (exactly the seed FindOptimalAllocation uses).
+  // These are deterministic and thread-count-invariant, which makes them the
+  // numbers tools/check_search_regression.py gates on.
+  uint64_t dfs_expansions_unseeded = 0;
+  uint64_t dfs_expansions_seeded = 0;
+  double seeding_reduction = 0.0;  // unseeded / seeded
   std::vector<RunCell> runs;
 };
 
@@ -59,23 +67,14 @@ double Seconds(std::chrono::steady_clock::time_point begin,
   return std::chrono::duration<double>(end - begin).count();
 }
 
-bool RunInstance(int fanout, int depth, int channels, int repeats,
+bool RunInstance(const std::string& name, const IndexTree& tree, int fanout,
+                 int depth, int channels, int repeats,
                  std::vector<InstanceReport>* reports) {
-  int leaves = 1;
-  for (int level = 1; level < depth; ++level) leaves *= fanout;
-  bcast::Rng rng(0xBE7Cu + static_cast<uint64_t>(fanout * 100 + channels));
-  std::vector<double> weights = bcast::UniformWeights(&rng, leaves, 1.0, 100.0);
-  auto tree = bcast::MakeFullBalancedTree(fanout, depth, weights);
-  if (!tree.ok()) {
-    std::fprintf(stderr, "tree: %s\n", tree.status().ToString().c_str());
-    return false;
-  }
-
   TopoTreeSearch::Options options;
   options.num_channels = channels;
   options.prune_candidates = true;
   options.prune_local_swap = true;
-  auto search = TopoTreeSearch::Create(*tree, options);
+  auto search = TopoTreeSearch::Create(tree, options);
   if (!search.ok()) {
     std::fprintf(stderr, "search: %s\n", search.status().ToString().c_str());
     return false;
@@ -86,14 +85,45 @@ bool RunInstance(int fanout, int depth, int channels, int repeats,
     return false;
   }
 
+  // Seeded sequential DFS: the exact incumbent FindOptimalAllocation installs
+  // (SortingHeuristic cost, inflated by one relative ulp-guard).
+  auto heuristic = bcast::SortingHeuristic(tree, channels);
+  if (!heuristic.ok()) {
+    std::fprintf(stderr, "heuristic: %s\n",
+                 heuristic.status().ToString().c_str());
+    return false;
+  }
+  double seed_v = heuristic->average_data_wait * tree.total_data_weight();
+  seed_v *= 1.0 + 1e-9;
+  auto seeded = search->FindOptimalDfs(seed_v);
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "seeded dfs: %s\n",
+                 seeded.status().ToString().c_str());
+    return false;
+  }
+  if (seeded->slots != reference->slots ||
+      seeded->average_data_wait != reference->average_data_wait) {
+    std::fprintf(stderr,
+                 "SEEDING VIOLATION: %s seeded DFS diverged from the unseeded "
+                 "allocation\n",
+                 name.c_str());
+    return false;
+  }
+
   InstanceReport report;
-  report.name = "m" + std::to_string(fanout) + "_d" + std::to_string(depth) +
-                "_k" + std::to_string(channels);
+  report.name = name;
   report.fanout = fanout;
   report.depth = depth;
-  report.num_nodes = tree->num_nodes();
+  report.num_nodes = tree.num_nodes();
   report.channels = channels;
   report.adw = reference->average_data_wait;
+  report.dfs_expansions_unseeded = reference->stats.nodes_expanded;
+  report.dfs_expansions_seeded = seeded->stats.nodes_expanded;
+  report.seeding_reduction =
+      seeded->stats.nodes_expanded > 0
+          ? static_cast<double>(reference->stats.nodes_expanded) /
+                static_cast<double>(seeded->stats.nodes_expanded)
+          : 0.0;
 
   double baseline_seconds = 0.0;
   for (int threads : kThreadGrid) {
@@ -154,6 +184,14 @@ void PrintTable(const std::vector<InstanceReport>& reports) {
                   cell.expansions_per_sec, cell.speedup_vs_1);
     }
   }
+  std::printf("\n%-10s | %18s %16s %10s\n", "instance", "dfs unseeded",
+              "dfs seeded", "reduction");
+  for (const InstanceReport& report : reports) {
+    std::printf("%-10s | %18llu %16llu %9.2fx\n", report.name.c_str(),
+                static_cast<unsigned long long>(report.dfs_expansions_unseeded),
+                static_cast<unsigned long long>(report.dfs_expansions_seeded),
+                report.seeding_reduction);
+  }
 }
 
 bool WriteJson(const std::string& path,
@@ -179,6 +217,12 @@ bool WriteJson(const std::string& path,
     json.Int(report.channels);
     json.Key("adw");
     json.Double(report.adw);
+    json.Key("dfs_expansions_unseeded");
+    json.UInt(report.dfs_expansions_unseeded);
+    json.Key("dfs_expansions_seeded");
+    json.UInt(report.dfs_expansions_seeded);
+    json.Key("seeding_reduction");
+    json.Double(report.seeding_reduction);
     json.Key("runs");
     json.BeginArray();
     for (const RunCell& cell : report.runs) {
@@ -239,8 +283,50 @@ int main(int argc, char** argv) {
   std::vector<InstanceReport> reports;
   const std::pair<int, int> grid[] = {{3, 2}, {3, 3}, {4, 2}, {4, 3}};
   for (const auto& [fanout, channels] : grid) {
-    if (!RunInstance(fanout, /*depth=*/3, channels, repeats, &reports)) {
+    const int depth = 3;
+    int leaves = 1;
+    for (int level = 1; level < depth; ++level) leaves *= fanout;
+    bcast::Rng rng(0xBE7Cu + static_cast<uint64_t>(fanout * 100 + channels));
+    std::vector<double> weights =
+        bcast::UniformWeights(&rng, leaves, 1.0, 100.0);
+    auto tree = bcast::MakeFullBalancedTree(fanout, depth, weights);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "tree: %s\n", tree.status().ToString().c_str());
       return 1;
+    }
+    std::string name = "m";
+    name += std::to_string(fanout);
+    name += "_d";
+    name += std::to_string(depth);
+    name += "_k";
+    name += std::to_string(channels);
+    if (!RunInstance(name, *tree, fanout, depth, channels, repeats, &reports)) {
+      return 1;
+    }
+  }
+
+  // Skewed random families (depth 0 = not a balanced tree; fanout = max).
+  // rand13 is the deepest search of the suite (regression-gate ballast);
+  // rand11 is the instance family where the SortingHeuristic incumbent is
+  // near-optimal and the seeded DFS expands >= 2x fewer nodes.
+  struct RandomFamily {
+    uint64_t seed;
+    int num_data;
+    const char* prefix;
+  };
+  const RandomFamily random_families[] = {{0xA110C, 13, "rand13"},
+                                          {3, 11, "rand11"}};
+  for (const RandomFamily& family : random_families) {
+    for (int channels : {2, 3}) {
+      bcast::Rng rng(family.seed);
+      bcast::IndexTree tree =
+          bcast::MakeRandomTree(&rng, family.num_data, /*max_fanout=*/3);
+      std::string name =
+          std::string(family.prefix) + "_k" + std::to_string(channels);
+      if (!RunInstance(name, tree, /*fanout=*/3, /*depth=*/0, channels,
+                       repeats, &reports)) {
+        return 1;
+      }
     }
   }
 

@@ -1,7 +1,11 @@
 #include "alloc/optimal.h"
 
+#include <cmath>
+#include <limits>
+
 #include "alloc/baselines.h"
 #include "alloc/data_tree.h"
+#include "alloc/heuristics.h"
 #include "alloc/topo_parallel.h"
 #include "alloc/topo_search.h"
 #include "exec/thread_pool.h"
@@ -30,6 +34,41 @@ void EmitDeterministicBreakdown(TopoTreeSearch* search) {
     return;
   }
   EmitPruningBreakdown(*stats);
+}
+
+// Resolves the incumbent seed (a total weighted wait V) for the exact
+// topological-tree search, per options.seed_incumbent. Returns +inf for an
+// unseeded search. The returned bound carries a tiny relative inflation so
+// that a heuristic cost recomputed as ADW x total_weight — which can land an
+// ulp *below* the search's own slot-by-slot V accumulation of the very same
+// allocation — still admits it (a seed below the true optimum would prune
+// every path and turn into an INTERNAL dead-end error).
+double ResolveSeedCost(const IndexTree& tree, int num_channels,
+                       const OptimalOptions& options) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (options.seed_incumbent == OptimalOptions::SeedIncumbent::kNone) {
+    return kInf;
+  }
+  double seed_adw = kInf;
+  auto heuristic = SortingHeuristic(tree, num_channels);
+  if (heuristic.ok()) {
+    seed_adw = heuristic->average_data_wait;
+    if (obs::MetricsEnabled()) {
+      obs::GetCounter("search.seed.heuristic").Increment();
+    }
+  }
+  if (options.seed_incumbent == OptimalOptions::SeedIncumbent::kPrevious &&
+      !std::isnan(options.warm_start_adw) &&
+      options.warm_start_adw < seed_adw) {
+    seed_adw = options.warm_start_adw;
+    if (obs::MetricsEnabled()) {
+      obs::GetCounter("search.seed.warm_start").Increment();
+    }
+  }
+  if (seed_adw == kInf) return kInf;
+  double seed_v = seed_adw * tree.total_data_weight();
+  seed_v *= 1.0 + 1e-9;  // float-slack so the seeding allocation itself fits
+  return seed_v;
 }
 
 }  // namespace
@@ -68,10 +107,11 @@ Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
   auto search = TopoTreeSearch::Create(tree, topo_options);
   if (!search.ok()) return search.status();
   EmitDeterministicBreakdown(&*search);
+  const double seed_cost_v = ResolveSeedCost(tree, num_channels, options);
   int threads = options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
                                          : options.num_threads;
-  if (threads > 1) return FindOptimalTopoParallel(*search, threads);
-  return search->FindOptimalDfs();
+  if (threads > 1) return FindOptimalTopoParallel(*search, threads, seed_cost_v);
+  return search->FindOptimalDfs(seed_cost_v);
 }
 
 }  // namespace bcast

@@ -11,6 +11,8 @@
 #ifndef BCAST_ALLOC_OPTIMAL_H_
 #define BCAST_ALLOC_OPTIMAL_H_
 
+#include <limits>
+
 #include "alloc/allocation.h"
 #include "alloc/topo_search.h"
 #include "tree/index_tree.h"
@@ -32,6 +34,30 @@ struct OptimalOptions {
   int num_threads = 1;
   /// Lower-bound estimate used by the topological-tree searches.
   TopoTreeSearch::BoundKind bound = TopoTreeSearch::BoundKind::kPacked;
+
+  /// How the topological-tree branch-and-bound incumbent is seeded before
+  /// the first expansion. Seeding is a pure upper bound — the searches cut
+  /// children only when they estimate *strictly above* the seed — so the
+  /// returned slots/ADW are byte-identical across all three modes and every
+  /// thread count; only nodes_expanded / bound_cutoffs change (the
+  /// search.seed.* counters record the applied seed).
+  enum class SeedIncumbent {
+    /// Start from an infinite incumbent (the pre-seeding behavior).
+    kNone,
+    /// Seed with the index-tree-sorting heuristic's cost (O(N log N),
+    /// negligible next to the exact search). Default.
+    kHeuristic,
+    /// min(heuristic, warm_start_adw): additionally re-use the cost of a
+    /// known feasible allocation from a previous planning cycle, supplied
+    /// via warm_start_adw (the adaptive server re-costs the previous
+    /// cycle's slots under the new weights).
+    kPrevious,
+  };
+  SeedIncumbent seed_incumbent = SeedIncumbent::kHeuristic;
+  /// Average data wait of a previously planned allocation re-costed against
+  /// the *current* tree, used when seed_incumbent == kPrevious. NaN = no
+  /// previous allocation available (falls back to the heuristic seed).
+  double warm_start_adw = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Exact minimum-average-data-wait allocation. Errors on trees over 64 nodes

@@ -78,11 +78,13 @@ bool TopoBnbProblem::SubsetLess(uint64_t a, uint64_t b) const {
 }
 
 Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
-                                                 int num_threads) {
+                                                 int num_threads,
+                                                 double seed_cost_v) {
   TopoBnbProblem problem(search);
   ParallelSearchOptions options;
   options.num_threads = num_threads;
   options.max_expansions = search.options().max_expansions;
+  options.initial_bound = seed_cost_v;
   auto parallel = RunParallelSearch(problem, options);
   if (!parallel.ok()) return parallel.status();
 

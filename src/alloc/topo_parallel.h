@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "alloc/allocation.h"
@@ -66,8 +67,14 @@ class TopoBnbProblem : public BnbProblem {
 /// topological tree of `search`. num_threads/cache semantics are those of
 /// ParallelSearchOptions; max_expansions is taken from the search's own
 /// options. Returns the same allocation as search.FindOptimalDfs().
-Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
-                                                 int num_threads);
+///
+/// `seed_cost_v` seeds the engine's incumbent bound with the total weighted
+/// wait of a known feasible allocation (+inf = unseeded). Same contract as
+/// TopoTreeSearch::FindOptimalDfs: a correct upper bound leaves the returned
+/// slots/ADW byte-identical and only shrinks the explored tree.
+Result<AllocationResult> FindOptimalTopoParallel(
+    const TopoTreeSearch& search, int num_threads,
+    double seed_cost_v = std::numeric_limits<double>::infinity());
 
 }  // namespace bcast
 

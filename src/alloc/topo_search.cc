@@ -1,13 +1,13 @@
 #include "alloc/topo_search.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <queue>
 #include <string>
 #include <unordered_map>
 
 #include "util/check.h"
-#include "util/combinatorics.h"
 #include "verify/verifier.h"
 
 namespace bcast {
@@ -25,6 +25,40 @@ void ForEachBit(uint64_t set, Fn fn) {
 }
 
 uint64_t Bit(NodeId id) { return uint64_t{1} << id; }
+
+// Emits every k-element subset of items[0..n-1] as a bitmask, in the same
+// lexicographic index order as util/combinatorics.h's ForEachKSubset (whole
+// set once when k >= n). Pure stack state — the hot loop's replacement for
+// the std::function/vector-based enumerator.
+template <typename Fn>
+void ForEachKSubsetMask(const NodeId* items, int n, int k, Fn emit) {
+  if (n == 0) return;
+  if (k >= n) {
+    uint64_t sm = 0;
+    for (int i = 0; i < n; ++i) sm |= Bit(items[i]);
+    emit(sm);
+    return;
+  }
+  int idx[64];
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    uint64_t sm = 0;
+    for (int i = 0; i < k; ++i) sm |= Bit(items[idx[i]]);
+    emit(sm);
+    // Advance to the next combination.
+    int i = k;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (int j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return;
+  }
+}
 
 }  // namespace
 
@@ -57,6 +91,34 @@ TopoTreeSearch::TopoTreeSearch(const IndexTree& tree, Options options)
               }
               return a < b;
             });
+
+  weight_.resize(static_cast<size_t>(n));
+  children_mask_.assign(static_cast<size_t>(n), 0);
+  higher_rank_mask_.assign(static_cast<size_t>(n), 0);
+  for (NodeId id = 0; id < n; ++id) {
+    weight_[static_cast<size_t>(id)] = tree.weight(id);
+    if (tree.is_data(id)) {
+      data_mask_ |= Bit(id);
+    } else {
+      index_mask_ |= Bit(id);
+    }
+    for (NodeId child : tree.children(id)) {
+      children_mask_[static_cast<size_t>(id)] |= Bit(child);
+    }
+  }
+  for (NodeId x = 0; x < n; ++x) {
+    if (!tree.is_index(x)) continue;
+    uint64_t higher = 0;
+    ForEachBit(index_mask_, [&](NodeId y) {
+      if (tree.node(y).preorder_rank > tree.node(x).preorder_rank) {
+        higher |= Bit(y);
+      }
+    });
+    higher_rank_mask_[static_cast<size_t>(x)] = higher;
+  }
+  // One neighbor arena per possible DFS depth (a path has at most n compound
+  // sets plus the root slot).
+  level_scratch_.resize(static_cast<size_t>(n) + 2);
 }
 
 bool TopoTreeSearch::SubsetLess(uint64_t a, uint64_t b) const {
@@ -67,213 +129,204 @@ bool TopoTreeSearch::SubsetLess(uint64_t a, uint64_t b) const {
 }
 
 double TopoTreeSearch::SetDataWeight(uint64_t set) const {
+  // Ascending-id accumulation, like the pre-bitmask implementation, so every
+  // committed golden ADW double is reproduced bit for bit.
   double sum = 0.0;
-  ForEachBit(set, [&](NodeId id) {
-    if (tree_.is_data(id)) sum += tree_.weight(id);
-  });
+  ForEachBit(set & data_mask_,
+             [&](NodeId id) { sum += weight_[static_cast<size_t>(id)]; });
   return sum;
 }
 
-void TopoTreeSearch::Candidates(uint64_t mask, std::vector<NodeId>* out) const {
-  out->clear();
-  for (NodeId id = 0; id < tree_.num_nodes(); ++id) {
-    if ((mask & Bit(id)) != 0) continue;
-    NodeId parent = tree_.parent(id);
-    if (parent != kInvalidNode && (mask & Bit(parent)) != 0) out->push_back(id);
-  }
+uint64_t TopoTreeSearch::CandidateMask(uint64_t mask) const {
+  uint64_t cand = 0;
+  ForEachBit(mask,
+             [&](NodeId id) { cand |= children_mask_[static_cast<size_t>(id)]; });
+  return cand & ~mask;
 }
 
 void TopoTreeSearch::GenerateNeighbors(uint64_t mask, uint64_t last_set,
                                        std::vector<uint64_t>* out,
                                        SearchStats* stats) const {
   out->clear();
-  std::vector<NodeId> candidates;
-  Candidates(mask, &candidates);
-  if (candidates.empty()) return;
+  uint64_t cand = CandidateMask(mask);
+  if (cand == 0) return;
 
-  const size_t k = static_cast<size_t>(options_.num_channels);
+  const int k = options_.num_channels;
 
-  // Properties of the previous compound node P.
-  bool p_all_index = true;
+  // Properties of the previous compound node P, all as mask algebra: its
+  // data members, the union of its children, its lightest data weight.
+  const uint64_t p_data = last_set & data_mask_;
+  const bool p_all_index = p_data == 0;
   double p_min_data_weight = std::numeric_limits<double>::infinity();
-  ForEachBit(last_set, [&](NodeId id) {
-    if (tree_.is_data(id)) {
-      p_all_index = false;
-      p_min_data_weight = std::min(p_min_data_weight, tree_.weight(id));
-    }
+  ForEachBit(p_data, [&](NodeId id) {
+    p_min_data_weight =
+        std::min(p_min_data_weight, weight_[static_cast<size_t>(id)]);
   });
-  auto is_child_of_p = [&](NodeId id) {
-    NodeId parent = tree_.parent(id);
-    return parent != kInvalidNode && (last_set & Bit(parent)) != 0;
-  };
+  uint64_t children_of_p = 0;
+  ForEachBit(last_set, [&](NodeId id) {
+    children_of_p |= children_mask_[static_cast<size_t>(id)];
+  });
 
   // ---- Appendix Step 2: prune the candidate set. --------------------------
   if (options_.prune_candidates) {
-    const size_t candidates_before = candidates.size();
-    std::vector<NodeId> pruned;
-    pruned.reserve(candidates.size());
+    const int candidates_before = std::popcount(cand);
     if (p_all_index) {
       if (k == 1) {
         // Case 1(i): only children of p; among data children only the
-        // heaviest (Property 2, characteristic 1).
-        NodeId best_data = kInvalidNode;
-        for (NodeId id : candidates) {
-          if (!is_child_of_p(id)) continue;
-          if (tree_.is_index(id)) {
-            pruned.push_back(id);
-          } else if (best_data == kInvalidNode ||
-                     tree_.weight(id) > tree_.weight(best_data) ||
-                     (tree_.weight(id) == tree_.weight(best_data) &&
-                      id < best_data)) {
-            best_data = id;
+        // heaviest (Property 2, characteristic 1). data_by_weight_ is sorted
+        // weight-descending with ascending-id ties, so the first hit is the
+        // canonical heaviest data child.
+        uint64_t kept = cand & children_of_p & index_mask_;
+        const uint64_t data_children = cand & children_of_p & data_mask_;
+        if (data_children != 0) {
+          for (NodeId d : data_by_weight_) {
+            if ((data_children & Bit(d)) != 0) {
+              kept |= Bit(d);
+              break;
+            }
           }
         }
-        if (best_data != kInvalidNode) pruned.push_back(best_data);
+        cand = kept;
       } else {
         // Case 1(ii): drop data that are not children of P; keep only the k
         // heaviest remaining data (Property 3, characteristics 1/2).
-        std::vector<NodeId> data_kept;
-        for (NodeId id : candidates) {
-          if (tree_.is_index(id)) {
-            pruned.push_back(id);
-          } else if (is_child_of_p(id)) {
-            data_kept.push_back(id);
+        uint64_t kept = cand & index_mask_;
+        const uint64_t data_children = cand & children_of_p & data_mask_;
+        int taken = 0;
+        for (NodeId d : data_by_weight_) {
+          if (taken == k) break;
+          if ((data_children & Bit(d)) != 0) {
+            kept |= Bit(d);
+            ++taken;
           }
         }
-        std::sort(data_kept.begin(), data_kept.end(), [&](NodeId a, NodeId b) {
-          if (tree_.weight(a) != tree_.weight(b)) {
-            return tree_.weight(a) > tree_.weight(b);
-          }
-          return a < b;
-        });
-        if (data_kept.size() > k) data_kept.resize(k);
-        pruned.insert(pruned.end(), data_kept.begin(), data_kept.end());
+        cand = kept;
       }
     } else {
       // Case 2: drop data nodes that are not children of P but are heavier
       // than some data node in P (Property 3, characteristic 4 / Property 2,
       // characteristic 2).
-      for (NodeId id : candidates) {
-        if (tree_.is_data(id) && !is_child_of_p(id) &&
-            tree_.weight(id) > p_min_data_weight) {
-          continue;
+      uint64_t drop = 0;
+      ForEachBit(cand & data_mask_ & ~children_of_p, [&](NodeId id) {
+        if (weight_[static_cast<size_t>(id)] > p_min_data_weight) {
+          drop |= Bit(id);
         }
-        pruned.push_back(id);
-      }
+      });
+      cand &= ~drop;
     }
-    candidates = std::move(pruned);
-    if (stats != nullptr && candidates_before > candidates.size()) {
+    const int dropped = candidates_before - std::popcount(cand);
+    if (stats != nullptr && dropped > 0) {
       // Candidate-level drops (they never become subsets, so they are not
       // part of nodes_generated / nodes_pruned): Property 2 justifies the
       // single-channel characterizations, Property 3 the k > 1 ones.
-      const uint64_t dropped = candidates_before - candidates.size();
       if (k == 1) {
-        stats->pruned_by_rule.property2 += dropped;
+        stats->pruned_by_rule.property2 += static_cast<uint64_t>(dropped);
       } else {
-        stats->pruned_by_rule.property3 += dropped;
+        stats->pruned_by_rule.property3 += static_cast<uint64_t>(dropped);
       }
     }
-    if (candidates.empty()) return;  // dead end; a sibling branch survives
+    if (cand == 0) return;  // dead end; a sibling branch survives
   }
 
-  const size_t t = std::min(k, candidates.size());
+  const int num_candidates = std::popcount(cand);
+  const int t = std::min(k, num_candidates);
 
   // ---- Appendix Step 3: generate the k-component subsets. -----------------
-  std::vector<uint64_t> generated;
   if (!options_.prune_candidates) {
-    // Plain Algorithm 1: every t-subset.
-    ForEachKSubset<NodeId>(candidates, t,
-                           [&](const std::vector<NodeId>& subset) {
-                             uint64_t sm = 0;
-                             for (NodeId id : subset) sm |= Bit(id);
-                             generated.push_back(sm);
-                           });
+    // Plain Algorithm 1: every t-subset, enumerated straight off the
+    // candidate mask (ascending-id item order, lexicographic combinations —
+    // the same sequence the vector-based enumerator produced).
+    NodeId items[64];
+    int n_items = 0;
+    ForEachBit(cand, [&](NodeId id) { items[n_items++] = id; });
+    ForEachKSubsetMask(items, n_items, t,
+                       [&](uint64_t sm) { out->push_back(sm); });
   } else {
     // Rule (i): the n data nodes of a subset must be the n heaviest data
     // candidates, so data enter as a prefix of the weight-sorted list.
-    std::vector<NodeId> data_sorted, index_list;
-    for (NodeId id : candidates) {
-      (tree_.is_data(id) ? data_sorted : index_list).push_back(id);
-    }
-    std::sort(data_sorted.begin(), data_sorted.end(), [&](NodeId a, NodeId b) {
-      if (tree_.weight(a) != tree_.weight(b)) {
-        return tree_.weight(a) > tree_.weight(b);
+    NodeId data_sorted[64];
+    int num_data = 0;
+    const uint64_t cand_data = cand & data_mask_;
+    if (cand_data != 0) {
+      for (NodeId d : data_by_weight_) {
+        if ((cand_data & Bit(d)) != 0) data_sorted[num_data++] = d;
       }
-      return a < b;
-    });
-    size_t min_data = data_sorted.size() >= t && index_list.empty() ? t : 0;
-    if (t > index_list.size()) min_data = std::max(min_data, t - index_list.size());
-    for (size_t d = min_data; d <= std::min(t, data_sorted.size()); ++d) {
-      uint64_t data_mask = 0;
-      for (size_t i = 0; i < d; ++i) data_mask |= Bit(data_sorted[i]);
-      size_t want_index = t - d;
-      if (want_index > index_list.size()) continue;
+    }
+    NodeId index_items[64];
+    int num_index = 0;
+    ForEachBit(cand & index_mask_,
+               [&](NodeId id) { index_items[num_index++] = id; });
+
+    int min_data = (num_data >= t && num_index == 0) ? t : 0;
+    if (t > num_index) min_data = std::max(min_data, t - num_index);
+    for (int d = min_data; d <= std::min(t, num_data); ++d) {
+      uint64_t data_prefix = 0;
+      for (int i = 0; i < d; ++i) data_prefix |= Bit(data_sorted[i]);
+      const int want_index = t - d;
+      if (want_index > num_index) continue;
       if (want_index == 0) {
-        generated.push_back(data_mask);
+        out->push_back(data_prefix);
         continue;
       }
-      ForEachKSubset<NodeId>(index_list, want_index,
-                             [&](const std::vector<NodeId>& subset) {
-                               uint64_t sm = data_mask;
-                               for (NodeId id : subset) sm |= Bit(id);
-                               generated.push_back(sm);
-                             });
+      ForEachKSubsetMask(index_items, num_index, want_index, [&](uint64_t sm) {
+        out->push_back(data_prefix | sm);
+      });
     }
   }
 
   // nodes_generated counts every formed subset, including those the Step 3
-  // rule (ii) and Step 4 erase_ifs below then eliminate, so for the
+  // rule (ii) and Step 4 filters below then eliminate, so for the
   // sequential DFS nodes_expanded == 1 + nodes_generated - nodes_pruned -
   // bound_cutoffs holds exactly (the differential harness asserts it).
-  if (stats != nullptr) stats->nodes_generated += generated.size();
+  if (stats != nullptr) stats->nodes_generated += out->size();
 
   // Rule (ii): with an all-index P and k > 1, a subset must contain at
-  // least one child of an element of P.
+  // least one child of an element of P. In-place compaction keeps order.
   if (options_.prune_candidates && p_all_index && k != 1) {
-    std::erase_if(generated, [&](uint64_t sm) {
-      bool has_child = false;
-      ForEachBit(sm, [&](NodeId id) { has_child = has_child || is_child_of_p(id); });
-      if (!has_child && stats != nullptr) {
-        ++stats->nodes_pruned;
-        ++stats->pruned_by_rule.lemma3;
+    size_t write = 0;
+    for (size_t read = 0; read < out->size(); ++read) {
+      const uint64_t sm = (*out)[read];
+      if ((sm & children_of_p) == 0) {
+        if (stats != nullptr) {
+          ++stats->nodes_pruned;
+          ++stats->pruned_by_rule.lemma3;
+        }
+        continue;
       }
-      return !has_child;
-    });
+      (*out)[write++] = sm;
+    }
+    out->resize(write);
   }
 
   // ---- Appendix Step 4: local-swap elimination. ----------------------------
   if (options_.prune_local_swap) {
-    std::vector<NodeId> p_index_nodes;
-    ForEachBit(last_set, [&](NodeId id) {
-      if (tree_.is_index(id)) p_index_nodes.push_back(id);
-    });
-    std::erase_if(generated, [&](uint64_t subset) {
-      for (NodeId x : p_index_nodes) {
-        // x can move down only if none of its children sit in the subset.
-        bool child_in_subset = false;
-        for (NodeId c : tree_.children(x)) {
-          if ((subset & Bit(c)) != 0) {
-            child_in_subset = true;
-            break;
+    const uint64_t p_index = last_set & index_mask_;
+    if (p_index != 0) {
+      size_t write = 0;
+      for (size_t read = 0; read < out->size(); ++read) {
+        const uint64_t subset = (*out)[read];
+        bool pruned = false;
+        bool data_swap = false;
+        // x scans P's index members in ascending id, like the old loop; the
+        // first x that admits a swap decides the lemma attribution.
+        for (uint64_t xs = p_index; xs != 0 && !pruned; xs &= xs - 1) {
+          const NodeId x = static_cast<NodeId>(__builtin_ctzll(xs));
+          // x can move down only if none of its children sit in the subset.
+          if ((subset & children_mask_[static_cast<size_t>(x)]) != 0) continue;
+          // Swappable members of the subset: not children of P, and either a
+          // data node (Step 4(i), Lemma 4: swapping it one slot earlier with
+          // x is strictly better) or an index node of higher preorder rank
+          // (Step 4(ii), Lemma 5: keep only the canonical order). The lowest
+          // such bit is the first qualifying y of the old per-node scan.
+          const uint64_t swappable =
+              subset & ~children_of_p &
+              (data_mask_ | higher_rank_mask_[static_cast<size_t>(x)]);
+          if (swappable != 0) {
+            pruned = true;
+            data_swap = (swappable & (~swappable + 1) & data_mask_) != 0;
           }
         }
-        if (child_in_subset) continue;
-        bool data_swap = false;
-        bool index_swap = false;
-        ForEachBit(subset, [&](NodeId y) {
-          if (data_swap || index_swap || is_child_of_p(y)) return;
-          if (tree_.is_data(y)) {
-            // Step 4(i), Lemma 4: a data node could be swapped one slot
-            // earlier with index node x — strictly better, so this subset
-            // cannot be on an optimal path.
-            data_swap = true;
-          } else if (tree_.node(y).preorder_rank > tree_.node(x).preorder_rank) {
-            // Step 4(ii), Lemma 5: two swappable index nodes; keep only the
-            // canonical order (Section 3.2's unique index weights).
-            index_swap = true;
-          }
-        });
-        if (data_swap || index_swap) {
+        if (pruned) {
           if (stats != nullptr) {
             ++stats->nodes_pruned;
             if (data_swap) {
@@ -282,14 +335,13 @@ void TopoTreeSearch::GenerateNeighbors(uint64_t mask, uint64_t last_set,
               ++stats->pruned_by_rule.lemma5;
             }
           }
-          return true;
+          continue;
         }
+        (*out)[write++] = subset;
       }
-      return false;
-    });
+      out->resize(write);
+    }
   }
-
-  *out = std::move(generated);
 }
 
 double TopoTreeSearch::LowerBound(uint64_t mask, int depth) const {
@@ -328,9 +380,16 @@ struct TopoTreeSearch::DfsContext {
   uint64_t count = 0;
   SearchStats stats;
   double best_v = std::numeric_limits<double>::infinity();
+  // Incumbent seed (a known-feasible total weighted wait). Children are cut
+  // when est > seed_bound — strictly, so equal-cost optima survive and the
+  // result stays byte-identical to the unseeded search.
+  double seed_bound = std::numeric_limits<double>::infinity();
   std::vector<uint64_t> current_path;
   std::vector<uint64_t> best_path;
-  std::vector<uint64_t> neighbor_scratch;  // reused across levels via copies
+  // Per-depth neighbor arenas (the search object's level_scratch_). Depth d
+  // borrows levels[d]; the recursive call at depth + 1 uses the next entry,
+  // so no frame ever aliases another and nothing is copied between levels.
+  std::vector<std::vector<uint64_t>>* levels = nullptr;
 };
 
 Status TopoTreeSearch::Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set,
@@ -364,7 +423,7 @@ Status TopoTreeSearch::Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set,
     return Status::Ok();
   }
 
-  std::vector<uint64_t> neighbors;
+  std::vector<uint64_t>& neighbors = (*ctx->levels)[static_cast<size_t>(depth)];
   GenerateNeighbors(mask, last_set, &neighbors, &ctx->stats);
   if (ctx->mode == DfsContext::Mode::kOptimize) {
     // Visit promising neighbors first so the incumbent tightens quickly. The
@@ -373,11 +432,13 @@ Status TopoTreeSearch::Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set,
     std::sort(neighbors.begin(), neighbors.end(),
               [&](uint64_t a, uint64_t b) { return SubsetLess(a, b); });
   }
-  for (uint64_t subset : neighbors) {
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    const uint64_t subset = neighbors[i];
     double nv = v + SetDataWeight(subset) * static_cast<double>(depth + 1);
     if (ctx->mode == DfsContext::Mode::kOptimize) {
       // Lemmas 1/2: V + U is a lower bound on any completion through subset.
-      if (nv + LowerBound(mask | subset, depth + 1) >= ctx->best_v) {
+      const double est = nv + LowerBound(mask | subset, depth + 1);
+      if (est >= ctx->best_v || est > ctx->seed_bound) {
         ++ctx->stats.bound_cutoffs;
         continue;
       }
@@ -406,6 +467,7 @@ Result<uint64_t> TopoTreeSearch::CountPaths(uint64_t limit) {
   DfsContext ctx;
   ctx.mode = DfsContext::Mode::kCountPaths;
   ctx.limit = limit;
+  ctx.levels = &level_scratch_;
   NodeId root = tree_.root();
   double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
   BCAST_RETURN_IF_ERROR(Dfs(&ctx, Bit(root), Bit(root), 1, v0));
@@ -416,6 +478,7 @@ Result<uint64_t> TopoTreeSearch::CountTreeNodes(uint64_t limit) {
   DfsContext ctx;
   ctx.mode = DfsContext::Mode::kCountNodes;
   ctx.limit = limit;
+  ctx.levels = &level_scratch_;
   NodeId root = tree_.root();
   double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
   BCAST_RETURN_IF_ERROR(Dfs(&ctx, Bit(root), Bit(root), 1, v0));
@@ -429,15 +492,21 @@ Result<SearchStats> TopoTreeSearch::ReducedTreeStats(uint64_t limit) {
   DfsContext ctx;
   ctx.mode = DfsContext::Mode::kCountNodes;
   ctx.limit = limit;
+  ctx.levels = &level_scratch_;
   NodeId root = tree_.root();
   double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
   BCAST_RETURN_IF_ERROR(Dfs(&ctx, Bit(root), Bit(root), 1, v0));
   return ctx.stats;
 }
 
-Result<AllocationResult> TopoTreeSearch::FindOptimalDfs() {
+Result<AllocationResult> TopoTreeSearch::FindOptimalDfs(double seed_cost_v) {
   DfsContext ctx;
   ctx.mode = DfsContext::Mode::kOptimize;
+  ctx.seed_bound = seed_cost_v;
+  ctx.levels = &level_scratch_;
+  const size_t max_path = static_cast<size_t>(tree_.num_nodes()) + 1;
+  ctx.current_path.reserve(max_path);
+  ctx.best_path.reserve(max_path);
   NodeId root = tree_.root();
   double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
   BCAST_RETURN_IF_ERROR(Dfs(&ctx, Bit(root), Bit(root), 1, v0));
@@ -462,7 +531,8 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalDfs() {
 // Best-first search (the paper's Section 3.1 strategy)
 // ---------------------------------------------------------------------------
 
-Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst() {
+Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst(
+    double seed_cost_v) {
   struct ArenaNode {
     uint64_t mask;
     uint64_t last_set;
@@ -562,9 +632,15 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst() {
         ++stats.dominance_skips;
         continue;
       }
+      const double child_e = child_v + LowerBound(child_mask, child_depth);
+      if (child_e > seed_cost_v) {
+        // The seed is the cost of a known feasible allocation, so no optimum
+        // lies beyond it (strict >: equal-cost states stay in play).
+        ++stats.bound_cutoffs;
+        continue;
+      }
       arena.push_back({child_mask, subset, child_v, child_depth, top.arena_index});
-      open.push({child_v + LowerBound(child_mask, child_depth), child_v,
-                 static_cast<int>(arena.size()) - 1});
+      open.push({child_e, child_v, static_cast<int>(arena.size()) - 1});
     }
   }
   return InternalError("best-first search exhausted the open list");

@@ -22,11 +22,21 @@
 // 64 nodes — the regime the paper itself targets with the exact search
 // (Section 4.1 concludes the exact algorithm "is applicable only to a small
 // size of the problem"; larger inputs go through src/alloc/heuristics.h).
+//
+// The expansion core is bitmask algebra end to end: per-node children masks,
+// the data/index partition masks and the Lemma-5 preorder-rank masks are
+// precomputed once at Create(), candidate sets are derived by OR/AND-NOT over
+// them, and k-subset generation enumerates combinations directly over the
+// 64-bit candidate mask. The depth-first optimizer draws its neighbor lists
+// from a per-depth scratch arena owned by the search object, so steady-state
+// expansion performs zero heap allocations (asserted by
+// tests/alloc_free_search_test.cc).
 
 #ifndef BCAST_ALLOC_TOPO_SEARCH_H_
 #define BCAST_ALLOC_TOPO_SEARCH_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "alloc/allocation.h"
@@ -89,11 +99,29 @@ class TopoTreeSearch {
   Result<SearchStats> ReducedTreeStats(uint64_t limit);
 
   /// Exact optimum by depth-first branch-and-bound.
-  Result<AllocationResult> FindOptimalDfs();
+  ///
+  /// `seed_cost_v` optionally seeds the incumbent with the total weighted
+  /// wait V (ADW x total data weight) of a known feasible allocation — e.g.
+  /// a heuristic solution or the previous replan cycle's allocation. The
+  /// seed is a pure upper bound: children are cut only when their admissible
+  /// estimate *strictly exceeds* it, so equal-cost optima always survive and
+  /// the returned slots/ADW are byte-identical to the unseeded search; only
+  /// bound_cutoffs / nodes_expanded shrink. A seed below the true optimum
+  /// makes every path a dead end (INTERNAL error) — callers add relative
+  /// slack for float round-trips (see FindOptimalAllocation).
+  Result<AllocationResult> FindOptimalDfs(
+      double seed_cost_v = std::numeric_limits<double>::infinity());
 
   /// Exact optimum by the paper's best-first strategy (priority queue on
   /// E(X) = V(X) + U(X), with dominance pruning on equal states).
-  Result<AllocationResult> FindOptimalBestFirst();
+  ///
+  /// `seed_cost_v` keeps states with E > seed out of the open list (counted
+  /// as bound_cutoffs). The cost of the result is unaffected; unlike the DFS
+  /// the pop order among equal-(E, V) entries depends on the push sequence,
+  /// so *which* of several equal-cost optima is returned may differ from the
+  /// unseeded run (best-first never promised the DFS tie-break either).
+  Result<AllocationResult> FindOptimalBestFirst(
+      double seed_cost_v = std::numeric_limits<double>::infinity());
 
   // --- expansion building blocks ------------------------------------------
   // Shared with the parallel engine (src/exec/parallel_search.h via the
@@ -130,9 +158,10 @@ class TopoTreeSearch {
  private:
   TopoTreeSearch(const IndexTree& tree, Options options);
 
-  // Candidate set S for the allocated-set `mask` (ids of nodes whose parent
-  // is allocated but which are not).
-  void Candidates(uint64_t mask, std::vector<NodeId>* out) const;
+  // Candidate set S for the allocated-set `mask`: nodes whose parent is
+  // allocated but which are not, as a bitmask (union of the precomputed
+  // children masks of the allocated nodes, minus the allocated nodes).
+  uint64_t CandidateMask(uint64_t mask) const;
 
   // Depth-first worker shared by counting and branch-and-bound.
   struct DfsContext;
@@ -143,6 +172,23 @@ class TopoTreeSearch {
   Options options_;
   uint64_t full_mask_ = 0;
   std::vector<NodeId> data_by_weight_;  // data ids, heaviest first
+
+  // --- bitmask tables, fixed at construction --------------------------------
+  uint64_t data_mask_ = 0;   // bit set iff the node is a data node
+  uint64_t index_mask_ = 0;  // complement of data_mask_ within full_mask_
+  std::vector<double> weight_;          // weight_[id] == tree_.weight(id)
+  std::vector<uint64_t> children_mask_; // children of node id, as bits
+  // higher_rank_mask_[x]: index nodes with preorder rank > rank(x) (the
+  // Lemma 5 canonical-order test reduces to one AND against this).
+  std::vector<uint64_t> higher_rank_mask_;
+
+  // Per-depth neighbor arenas for the depth-first walks (optimize and the
+  // counting modes). Each depth owns one vector that grows to its high-water
+  // mark on first descent and is reused ever after, so steady-state DFS
+  // expansion allocates nothing. Only the non-const entry points touch it —
+  // the const building blocks above stay safe for concurrent use by the
+  // parallel engine.
+  std::vector<std::vector<uint64_t>> level_scratch_;
 };
 
 }  // namespace bcast

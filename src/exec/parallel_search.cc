@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -161,6 +162,9 @@ class Engine {
       : problem_(problem),
         options_(options),
         num_threads_(num_threads),
+        // A finite initial_bound pre-tightens the shared word; +inf packs to
+        // +inf (its low 16 bits are zero), i.e. the unseeded behavior.
+        incumbent_(PackCostCeiling(options.initial_bound)),
         cache_(options.cache_shards > 0
                    ? std::make_unique<TranspositionCache>(
                          problem, static_cast<size_t>(options.cache_shards))
@@ -174,7 +178,7 @@ class Engine {
       BnbState root = problem_.Root();
       group.Run([this, root] {
         std::vector<uint64_t> prefix;
-        Visit(root, &prefix);
+        Visit(root, &prefix, 0);
       });
       group.Wait();
       group_ = nullptr;
@@ -228,10 +232,23 @@ class Engine {
         .Set(stats.threads_used);
   }
 
+  // One expansion arena per worker thread and inline-recursion level, so
+  // steady-state expansion never allocates (each level's vector grows to its
+  // high-water mark once and is reused; a deque keeps references stable while
+  // deeper levels append). Spawned tasks restart at level 0 on their own
+  // worker's arena stack.
+  static std::vector<uint64_t>* LevelScratch(int level) {
+    thread_local std::deque<std::vector<uint64_t>> scratch;
+    while (static_cast<int>(scratch.size()) <= level) scratch.emplace_back();
+    return &scratch[static_cast<size_t>(level)];
+  }
+
   // Expands one state. `prefix` holds the subsets placed after the root, the
   // last being state.last_set (empty for the root itself); it is mutated
-  // in place during inline recursion and restored before returning.
-  void Visit(const BnbState& state, std::vector<uint64_t>* prefix) {
+  // in place during inline recursion and restored before returning. `level`
+  // is the inline recursion depth (not the search depth), selecting this
+  // frame's scratch arena.
+  void Visit(const BnbState& state, std::vector<uint64_t>* prefix, int level) {
     if (aborted_.load(std::memory_order_relaxed)) return;
     const uint64_t n = expanded_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (n > options_.max_expansions) {
@@ -256,9 +273,10 @@ class Engine {
       return;
     }
 
-    std::vector<uint64_t> subsets;
+    std::vector<uint64_t>& subsets = *LevelScratch(level);
     problem_.Expand(state, &subsets);
-    for (uint64_t subset : subsets) {
+    for (size_t i = 0; i < subsets.size(); ++i) {
+      const uint64_t subset = subsets[i];
       if (aborted_.load(std::memory_order_relaxed)) return;
       BnbState child = problem_.Child(state, subset);
       if (problem_.Estimate(child) > CeilingCost()) {
@@ -271,12 +289,15 @@ class Engine {
         std::vector<uint64_t> child_prefix = *prefix;
         child_prefix.push_back(subset);
         group_->Run([this, child, child_prefix]() mutable {
-          Visit(child, &child_prefix);
+          Visit(child, &child_prefix, 0);
         });
       } else {
         prefix->push_back(subset);
-        Visit(child, prefix);
+        Visit(child, prefix, level + 1);
         prefix->pop_back();
+        // The recursive frame borrowed deeper arenas; this frame's reference
+        // is still valid (deque never relocates existing elements), and the
+        // subset list itself was never touched by deeper levels.
       }
     }
   }
@@ -328,8 +349,7 @@ class Engine {
 
   TaskGroup* group_ = nullptr;
 
-  std::atomic<uint64_t> incumbent_{
-      PackCostCeiling(std::numeric_limits<double>::infinity())};
+  std::atomic<uint64_t> incumbent_;  // seeded in the constructor
   std::mutex best_mutex_;
   bool has_best_ = false;
   double best_v_ = 0.0;
@@ -357,6 +377,9 @@ Result<ParallelSearchResult> RunParallelSearch(
   }
   if (options.cache_shards < 0) {
     return InvalidArgumentError("cache_shards must be >= 0 (0 = no cache)");
+  }
+  if (!(options.initial_bound >= 0.0)) {  // also rejects NaN
+    return InvalidArgumentError("initial_bound must be >= 0 (+inf = unseeded)");
   }
   const int threads = options.num_threads == 0
                           ? ThreadPool::HardwareConcurrency()

@@ -48,6 +48,7 @@
 #define BCAST_EXEC_PARALLEL_SEARCH_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/status.h"
@@ -104,6 +105,13 @@ struct ParallelSearchOptions {
   /// Transposition-cache shards (rounded up to a power of two);
   /// 0 disables the cache.
   int cache_shards = 32;
+  /// Seeds the shared incumbent bound with the cost of a known feasible
+  /// solution before the first expansion (+inf = start unseeded). Pruning
+  /// compares children with *strictly greater than* a rounded-up copy of
+  /// this bound, so a correct upper bound never cuts an equal-cost optimum
+  /// and the result stays byte-identical to the unseeded run; only
+  /// bound_pruned / nodes_expanded change. Must be >= 0 and not NaN.
+  double initial_bound = std::numeric_limits<double>::infinity();
 };
 
 struct ParallelSearchStats {
@@ -128,8 +136,9 @@ struct ParallelSearchResult {
 };
 
 /// Runs the search to completion. Errors: RESOURCE_EXHAUSTED past
-/// max_expansions, INTERNAL if no goal state exists (a pruning dead end),
-/// INVALID_ARGUMENT for negative num_threads / cache_shards.
+/// max_expansions, INTERNAL if no goal state exists (a pruning dead end, or
+/// an initial_bound below the true optimum), INVALID_ARGUMENT for negative
+/// num_threads / cache_shards / initial_bound.
 Result<ParallelSearchResult> RunParallelSearch(
     const BnbProblem& problem, const ParallelSearchOptions& options);
 

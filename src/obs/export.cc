@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -72,8 +73,14 @@ void JsonWriter::Double(double value) {
     return;
   }
   BeforeValue();
+  // Shortest representation that round-trips (same idiom as tree_io): 17
+  // significant digits always round-trip, but most values need far fewer —
+  // "1.4", not "1.3999999999999999".
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
   out_->append(buf);
 }
 

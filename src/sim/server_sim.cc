@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "alloc/allocation.h"
+#include "alloc/optimal.h"
 #include "obs/obs.h"
 #include "tree/alphabetic.h"
 #include "util/check.h"
@@ -64,20 +66,22 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
 
   // Initial plan from the (uniform) prior estimates.
   auto replan = [&](const std::vector<double>& weights)
-      -> Result<std::pair<IndexTree, BroadcastSchedule>> {
+      -> Result<std::pair<IndexTree, BroadcastPlan>> {
     auto tree = BuildCatalogIndex(weights, options.index_fanout);
     if (!tree.ok()) return tree.status();
     auto plan = PlanBroadcast(*tree, plan_options);
     if (!plan.ok()) return plan.status();
-    return std::make_pair(std::move(tree).value(),
-                          std::move(plan->schedule));
+    return std::make_pair(std::move(tree).value(), std::move(plan).value());
   };
 
   auto active = replan(estimator.EstimatedWeights());
   if (!active.ok()) return active.status();
   IndexTree active_tree = std::move(active->first);
-  BroadcastSchedule active_schedule = std::move(active->second);
+  BroadcastSchedule active_schedule = std::move(active->second.schedule);
   std::vector<NodeId> active_data = active_tree.DataNodes();
+  // Slot sequence of the allocation currently on air, kept for warm-starting
+  // the next due replan.
+  SlotSequence active_slots = std::move(active->second.allocation.slots);
 
   // Downlink faults draw from their own substream: a lossless run makes no
   // fault draws, so its query sequence is bit-identical to the seed loop.
@@ -103,11 +107,25 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
     Result<IndexTree> next_tree = InternalError("no server replan this cycle");
     std::vector<PlanRequest> batch;
     batch.push_back({&*oracle_tree, plan_options});
+    PlannerOptions server_options = plan_options;
     if (replan_due) {
       next_tree = BuildCatalogIndex(estimator.EstimatedWeights(),
                                     options.index_fanout);
       if (!next_tree.ok()) return next_tree.status();
-      batch.push_back({&*next_tree, plan_options});
+      // Warm start: the allocation on air is a feasible solution for the new
+      // tree whenever the rebuilt index kept the same shape — re-cost it
+      // under the new weights and hand the exact search min(heuristic,
+      // previous) as its initial incumbent. A pure upper bound, so the plan
+      // (and the whole report) is byte-identical either way.
+      if (options.warm_start_replans && !active_slots.empty() &&
+          ValidateSlotSequence(*next_tree, options.num_channels, active_slots)
+              .ok()) {
+        server_options.optimal.seed_incumbent =
+            OptimalOptions::SeedIncumbent::kPrevious;
+        server_options.optimal.warm_start_adw =
+            SlotSequenceDataWait(*next_tree, active_slots);
+      }
+      batch.push_back({&*next_tree, server_options});
     }
     std::vector<Result<BroadcastPlan>> plans =
         PlanMany(batch, options.planner_threads);
@@ -119,6 +137,7 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
       active_tree = std::move(next_tree).value();
       active_schedule = std::move(plans[1]->schedule);
       active_data = active_tree.DataNodes();
+      active_slots = std::move(plans[1]->allocation.slots);
     }
 
     // Serve this cycle's queries from the TRUE distribution. Under a faulty

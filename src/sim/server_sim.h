@@ -49,6 +49,14 @@ struct AdaptiveServerOptions {
   /// 1 = plan sequentially, 0 = hardware concurrency. Planning is
   /// deterministic, so the report is identical for every value.
   int planner_threads = 1;
+  /// Warm-start each due replan: re-cost the previous cycle's slot sequence
+  /// under the new tree (when it is still feasible for it) and seed the
+  /// exact search's incumbent with min(heuristic, previous) via
+  /// OptimalOptions::SeedIncumbent::kPrevious. Seeding is a pure upper
+  /// bound, so the report is byte-identical with this on or off — it only
+  /// shrinks the searched tree (see search.seed.* / search.*.bound_* in the
+  /// metrics). Only plans that dispatch to the exact search are affected.
+  bool warm_start_replans = true;
 };
 
 /// Per-cycle outcome.

@@ -99,6 +99,47 @@ TEST(CliTest, PlanWithThreadsMatchesSingleThreadedOutput) {
   EXPECT_NE(parallel.find("average data wait : 3.77143"), std::string::npos);
 }
 
+TEST(CliTest, PlanRejectsBadSearchTuningValues) {
+  std::string out;
+  EXPECT_EQ(
+      RunCommand({"plan", "--tree", kExampleTree, "--bound", "tight"}, &out),
+      1);
+  EXPECT_NE(out.find("unknown bound 'tight'"), std::string::npos);
+  EXPECT_NE(out.find("paper-next-slot or packed"), std::string::npos);
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree,
+                        "--seed-incumbent=greedy"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("unknown seed-incumbent 'greedy'"), std::string::npos);
+  EXPECT_NE(out.find("none, heuristic or previous"), std::string::npos);
+  EXPECT_EQ(RunCommand({"simulate", "--tree", kExampleTree, "--bound", "x"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("unknown bound 'x'"), std::string::npos);
+}
+
+TEST(CliTest, PlanSearchTuningLeavesTheScheduleIdentical) {
+  // Both bound estimates are admissible and seeding is a strict upper bound,
+  // so every knob combination prints the same plan, character for character.
+  std::string baseline;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                         "--strategy", "optimal"},
+                        &baseline);
+  ASSERT_EQ(code, 0) << baseline;
+  EXPECT_NE(baseline.find("average data wait : 3.77143"), std::string::npos);
+  for (const char* bound : {"paper-next-slot", "packed"}) {
+    for (const char* seed : {"none", "heuristic", "previous"}) {
+      std::string out;
+      code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                         "--strategy", "optimal", "--bound", bound,
+                         "--seed-incumbent", seed},
+                        &out);
+      ASSERT_EQ(code, 0) << out;
+      EXPECT_EQ(out, baseline) << bound << "/" << seed;
+    }
+  }
+}
+
 TEST(CliTest, PlanRejectsMalformedTree) {
   std::string out;
   EXPECT_EQ(RunCommand({"plan", "--tree", "(broken"}, &out), 1);

@@ -177,6 +177,81 @@ TEST(DifferentialHarnessTest, ParallelSearchIsThreadCountInvariant) {
   }
 }
 
+TEST(DifferentialHarnessTest, IncumbentSeedingIsAPureUpperBound) {
+  // The seeding contract (alloc/topo_search.h, exec/parallel_search.h): a
+  // feasible-cost seed may only shrink the searched tree, never change the
+  // answer. Seeded and unseeded runs must return BYTE-IDENTICAL slots/ADW on
+  // every engine and thread count, and the seeded sequential DFS never
+  // expands more nodes than the unseeded one. Same seed formula as the other
+  // sweeps so all harnesses cover the same instances.
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed * 0x9E3779B9u + 1);
+    const int num_data = 3 + static_cast<int>(seed % 6);
+    const int max_fanout = 2 + static_cast<int>(seed % 3);
+    IndexTree tree = MakeRandomTree(&rng, num_data, max_fanout);
+    const int k = 1 + static_cast<int>(seed % 3);
+
+    TopoTreeSearch::Options options;
+    options.num_channels = k;
+    options.prune_candidates = true;
+    options.prune_local_swap = true;
+    auto search = TopoTreeSearch::Create(tree, options);
+    ASSERT_TRUE(search.ok()) << search.status().ToString();
+    auto unseeded = search->FindOptimalDfs();
+    ASSERT_TRUE(unseeded.ok()) << unseeded.status().ToString();
+
+    // Seed exactly as FindOptimalAllocation does: the sorting heuristic's
+    // cost with relative float slack.
+    auto heuristic = SortingHeuristic(tree, k);
+    ASSERT_TRUE(heuristic.ok()) << heuristic.status().ToString();
+    const double seed_v = heuristic->average_data_wait *
+                          tree.total_data_weight() * (1.0 + 1e-9);
+
+    auto seeded = search->FindOptimalDfs(seed_v);
+    ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+    EXPECT_EQ(seeded->slots, unseeded->slots);
+    EXPECT_EQ(seeded->average_data_wait, unseeded->average_data_wait);
+    EXPECT_LE(seeded->stats.nodes_expanded, unseeded->stats.nodes_expanded);
+
+    // The tightest valid seed — the optimum's own cost — must also keep the
+    // optimum reachable (the strict-> cutoff at work).
+    const double exact_v =
+        unseeded->average_data_wait * tree.total_data_weight() * (1.0 + 1e-9);
+    auto tight = search->FindOptimalDfs(exact_v);
+    ASSERT_TRUE(tight.ok()) << tight.status().ToString();
+    EXPECT_EQ(tight->slots, unseeded->slots);
+    EXPECT_EQ(tight->average_data_wait, unseeded->average_data_wait);
+
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      auto parallel = FindOptimalTopoParallel(*search, threads, seed_v);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_EQ(parallel->slots, unseeded->slots);
+      EXPECT_EQ(parallel->average_data_wait, unseeded->average_data_wait);
+
+      // Facade: every SeedIncumbent mode returns the same bytes.
+      for (auto mode : {OptimalOptions::SeedIncumbent::kNone,
+                        OptimalOptions::SeedIncumbent::kHeuristic,
+                        OptimalOptions::SeedIncumbent::kPrevious}) {
+        OptimalOptions facade;
+        facade.num_threads = threads;
+        facade.seed_incumbent = mode;
+        if (mode == OptimalOptions::SeedIncumbent::kPrevious) {
+          // Warm-start with the previous "cycle's" allocation — here the
+          // optimum itself, the hardest case for the strict cutoff.
+          facade.warm_start_adw = unseeded->average_data_wait;
+        }
+        auto result = FindOptimalAllocation(tree, k, facade);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        if (k >= tree.max_level_width() || k == 1) continue;  // fast paths
+        EXPECT_EQ(result->slots, unseeded->slots);
+        EXPECT_EQ(result->average_data_wait, unseeded->average_data_wait);
+      }
+    }
+  }
+}
+
 TEST(DifferentialHarnessTest, FaultInjectedSimulationLeavesScheduleVerified) {
   // Fault injection lives entirely in the medium: however hard the simulated
   // clients hammer the recovery ladder, the underlying allocation must still

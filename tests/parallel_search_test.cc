@@ -270,6 +270,9 @@ TEST(OptimalOptionsTest, BoundKindIsForwardedToTheTopoSearch) {
 
     OptimalOptions options;
     options.bound = kinds[i];
+    // Unseeded, so the facade's expansion count can be compared against the
+    // directly-driven (also unseeded) search.
+    options.seed_incumbent = OptimalOptions::SeedIncumbent::kNone;
     auto result = FindOptimalAllocation(*tree, 2, options);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     via_options[i] = *result;

@@ -20,9 +20,12 @@ constexpr char kUsage[] =
     "  bcastctl plan --tree <s-expr>|--tree-file <path> [--channels k]\n"
     "                [--strategy auto|optimal|sorting|shrinking|level|\n"
     "                 preorder|greedy-weight] [--threads N] [--simulate N]\n"
+    "                [--bound paper-next-slot|packed]\n"
+    "                [--seed-incumbent none|heuristic|previous]\n"
     "                [--save <path>]\n"
     "  bcastctl simulate --tree <s-expr>|--tree-file <path>|--program <path>\n"
     "                [--channels k] [--strategy ...] [--threads N]\n"
+    "                [--bound ...] [--seed-incumbent ...]\n"
     "                [--queries N] [--seed S]\n"
     "                [--replicate-copies R] [--replicate-levels L]\n"
     "                [--loss-model none|bernoulli|gilbert-elliott]\n"
@@ -146,6 +149,36 @@ Result<int> LoadThreads(const FlagMap& flags) {
   return *threads;
 }
 
+// --bound / --seed-incumbent: tuning knobs for the exact topological-tree
+// search. Both leave the planned allocation byte-identical (the bound kinds
+// are both admissible; seeding is a strict upper bound) — they only change
+// how much of the tree the search explores.
+Status LoadSearchTuning(const FlagMap& flags, OptimalOptions* optimal) {
+  if (auto bound = flags.Get("bound"); bound.has_value()) {
+    if (*bound == "paper-next-slot") {
+      optimal->bound = TopoTreeSearch::BoundKind::kPaperNextSlot;
+    } else if (*bound == "packed") {
+      optimal->bound = TopoTreeSearch::BoundKind::kPacked;
+    } else {
+      return InvalidArgumentError("unknown bound '" + *bound +
+                                  "' (expected paper-next-slot or packed)");
+    }
+  }
+  if (auto seed = flags.Get("seed-incumbent"); seed.has_value()) {
+    if (*seed == "none") {
+      optimal->seed_incumbent = OptimalOptions::SeedIncumbent::kNone;
+    } else if (*seed == "heuristic") {
+      optimal->seed_incumbent = OptimalOptions::SeedIncumbent::kHeuristic;
+    } else if (*seed == "previous") {
+      optimal->seed_incumbent = OptimalOptions::SeedIncumbent::kPrevious;
+    } else {
+      return InvalidArgumentError("unknown seed-incumbent '" + *seed +
+                                  "' (expected none, heuristic or previous)");
+    }
+  }
+  return Status::Ok();
+}
+
 Result<PlanStrategy> ParseStrategy(const std::string& name) {
   static constexpr std::pair<const char*, PlanStrategy> kStrategies[] = {
       {"auto", PlanStrategy::kAuto},
@@ -201,6 +234,7 @@ Status CmdPlan(const FlagMap& flags, std::ostringstream* os) {
   auto threads = LoadThreads(flags);
   if (!threads.ok()) return threads.status();
   options.optimal.num_threads = *threads;
+  BCAST_RETURN_IF_ERROR(LoadSearchTuning(flags, &options.optimal));
 
   auto plan = PlanBroadcast(*tree, options);
   if (!plan.ok()) return plan.status();
@@ -318,6 +352,7 @@ Status CmdSimulate(const FlagMap& flags, std::ostringstream* os) {
     auto threads = LoadThreads(flags);
     if (!threads.ok()) return threads.status();
     options.optimal.num_threads = *threads;
+    BCAST_RETURN_IF_ERROR(LoadSearchTuning(flags, &options.optimal));
     options.replication.root_copies = *copies;
     options.replication.replicate_levels = *levels;
     auto plan = PlanBroadcast(tree, options);

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Deterministic search-performance regression gate for bench_parallel_search.
+
+Compares a freshly generated bench_parallel_search --json report against the
+committed baseline (BENCH_parallel_search.json) on the *expansion counts* —
+`dfs_expansions_unseeded` and `dfs_expansions_seeded` per instance — and fails
+when any count grew by more than the budget.
+
+Expansion counts are the right gate for a branch-and-bound: they are exactly
+reproducible (fixed RNG seeds, sequential DFS, no thread scheduling in the
+number), so unlike wall time the comparison works on noisy shared CI runners
+and a 2% budget is meaningful. A count increase means the pruning rules, the
+bound, or the incumbent seeding genuinely got weaker — not that the runner was
+busy.
+
+Shrinking counts are reported but never fail the gate; improvements should be
+committed by regenerating the baseline (bench_parallel_search --json).
+
+Usage:
+  check_search_regression.py baseline.json current.json [--max-growth 0.02]
+"""
+
+import argparse
+import json
+import sys
+
+GATED_FIELDS = ("dfs_expansions_unseeded", "dfs_expansions_seeded")
+
+
+def load_counts(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("bench") != "parallel_search":
+        print(f"check_search_regression: {path} is not a parallel_search "
+              "report", file=sys.stderr)
+        sys.exit(2)
+    counts = {}
+    for instance in report.get("instances", []):
+        for field in GATED_FIELDS:
+            counts[(instance["name"], field)] = int(instance[field])
+    return counts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_parallel_search.json")
+    parser.add_argument("current", help="freshly generated report")
+    parser.add_argument("--max-growth", type=float, default=0.02,
+                        help="allowed per-count growth (default 0.02 = 2%%)")
+    args = parser.parse_args()
+
+    baseline = load_counts(args.baseline)
+    current = load_counts(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("check_search_regression: no shared instances between the "
+              "reports", file=sys.stderr)
+        return 2
+
+    missing = sorted(set(baseline) - set(current))
+    for name, field in missing:
+        print(f"  MISSING {name}.{field} (in baseline, not in current)")
+
+    failures = []
+    for key in shared:
+        name, field = key
+        before, after = baseline[key], current[key]
+        growth = (after - before) / before if before > 0 else 0.0
+        marker = ""
+        if growth > args.max_growth:
+            failures.append((name, field, before, after, growth))
+            marker = "  <-- REGRESSION"
+        print(f"  {name:12s} {field:26s} {before:8d} -> {after:8d}"
+              f"  ({100.0 * growth:+6.2f}%){marker}")
+
+    print(f"counts compared : {len(shared)}")
+    print(f"growth budget   : {100.0 * args.max_growth:.0f}% per count")
+    if missing:
+        print("check_search_regression: FAIL — baseline instances missing "
+              "from the current report", file=sys.stderr)
+        return 1
+    if failures:
+        for name, field, before, after, growth in failures:
+            print(f"check_search_regression: FAIL — {name}.{field} grew "
+                  f"{before} -> {after} ({100.0 * growth:+.2f}%)",
+                  file=sys.stderr)
+        return 1
+    print("check_search_regression: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
