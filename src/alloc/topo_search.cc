@@ -121,6 +121,7 @@ TopoTreeSearch::TopoTreeSearch(const IndexTree& tree, Options options)
   level_scratch_.resize(static_cast<size_t>(n) + 2);
 }
 
+// bcast: hot — canonical sibling order, called per generated neighbor.
 bool TopoTreeSearch::SubsetLess(uint64_t a, uint64_t b) const {
   const double wa = SetDataWeight(a);
   const double wb = SetDataWeight(b);
@@ -128,6 +129,7 @@ bool TopoTreeSearch::SubsetLess(uint64_t a, uint64_t b) const {
   return a < b;
 }
 
+// bcast: hot — inner loop of expansion and bounding.
 double TopoTreeSearch::SetDataWeight(uint64_t set) const {
   // Ascending-id accumulation, like the pre-bitmask implementation, so every
   // committed golden ADW double is reproduced bit for bit.
@@ -137,6 +139,7 @@ double TopoTreeSearch::SetDataWeight(uint64_t set) const {
   return sum;
 }
 
+// bcast: hot — per-expansion candidate set, pure mask algebra.
 uint64_t TopoTreeSearch::CandidateMask(uint64_t mask) const {
   uint64_t cand = 0;
   ForEachBit(mask,
@@ -344,6 +347,7 @@ void TopoTreeSearch::GenerateNeighbors(uint64_t mask, uint64_t last_set,
   }
 }
 
+// bcast: hot — admissible bound, evaluated per child.
 double TopoTreeSearch::LowerBound(uint64_t mask, int depth) const {
   const int k = options_.num_channels;
   double bound = 0.0;

@@ -164,8 +164,10 @@ std::vector<Result<BroadcastPlan>> PlanMany(
   obs::ScopedSpan span("plan_many");
   ThreadPool pool(num_threads);
   TaskGroup group(&pool);
-  // Each task writes only its own slot; the vector itself is not resized
-  // while tasks run, so no synchronization beyond the group join is needed.
+  // Join-synchronized, deliberately unannotated (util/thread_annotations.h
+  // conventions): each task writes only its own slot and the vector is not
+  // resized while tasks run, so the only happens-before edge needed is
+  // TaskGroup::Wait() — a BCAST_GUARDED_BY here would force a pointless lock.
   for (size_t i = 0; i < requests.size(); ++i) {
     group.Run([&plan_one, i] { plan_one(i); });
   }

@@ -39,10 +39,10 @@ ThreadPool::~ThreadPool() {
   {
     // The lock pairs the flag flip with the cv wait: a worker that just saw
     // stopping_ == false cannot miss the notify.
-    std::lock_guard<std::mutex> lock(idle_mutex_);
+    MutexLock lock(&idle_mutex_);
     stopping_.store(true, std::memory_order_release);
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 
   // Flush pool telemetry after the join: the worker tallies are stable now,
@@ -85,7 +85,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   Worker& worker = *workers_[static_cast<size_t>(target)];
   {
-    std::lock_guard<std::mutex> lock(worker.mutex);
+    MutexLock lock(&worker.mutex);
     worker.tasks.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
@@ -94,9 +94,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     // holding idle_mutex_ (and will see the new pending_ count) or already
     // asleep (and will hear the notify). Without this lock the increment can
     // slip between a worker's failed predicate check and its sleep.
-    std::lock_guard<std::mutex> lock(idle_mutex_);
+    MutexLock lock(&idle_mutex_);
   }
-  idle_cv_.notify_one();
+  idle_cv_.NotifyOne();
 }
 
 std::function<void()> ThreadPool::TakeTask(int self) {
@@ -104,7 +104,7 @@ std::function<void()> ThreadPool::TakeTask(int self) {
   // Own deque first, newest task (LIFO).
   {
     Worker& own = *workers_[static_cast<size_t>(self)];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(&own.mutex);
     if (!own.tasks.empty()) {
       std::function<void()> task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -114,7 +114,7 @@ std::function<void()> ThreadPool::TakeTask(int self) {
   // Steal the oldest task of the first non-empty victim.
   for (int offset = 1; offset < n; ++offset) {
     Worker& victim = *workers_[static_cast<size_t>((self + offset) % n)];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(&victim.mutex);
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -145,12 +145,12 @@ void ThreadPool::WorkerLoop(int index) {
       ++self.tasks_run;
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mutex_);
+    MutexLock lock(&idle_mutex_);
     if (stopping_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       return;  // drained: nothing queued anywhere, and no more will arrive
     }
-    idle_cv_.wait(lock, [this] {
+    idle_cv_.Wait(&idle_mutex_, [this] {
       return pending_.load(std::memory_order_acquire) > 0 ||
              stopping_.load(std::memory_order_acquire);
     });
@@ -168,8 +168,8 @@ void TaskGroup::Run(std::function<void()> task) {
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last task out: pair with the Wait() predicate under the lock so the
       // waiter cannot check-then-sleep between our decrement and notify.
-      std::lock_guard<std::mutex> lock(mutex_);
-      cv_.notify_all();
+      MutexLock lock(&mutex_);
+      cv_.NotifyAll();
     }
   });
 }
@@ -177,8 +177,8 @@ void TaskGroup::Run(std::function<void()> task) {
 void TaskGroup::Wait() {
   BCAST_CHECK_EQ(pool_->CurrentWorkerIndex(), -1)
       << "TaskGroup::Wait() on a pool worker would deadlock";
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] {
+  MutexLock lock(&mutex_);
+  cv_.Wait(&mutex_, [this] {
     return outstanding_.load(std::memory_order_acquire) == 0;
   });
 }

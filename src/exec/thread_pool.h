@@ -18,14 +18,15 @@
 #define BCAST_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bcast {
 
@@ -67,11 +68,12 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks BCAST_GUARDED_BY(mutex);
     // Owner-thread tallies: written only by the worker thread that owns this
     // slot, read by the destructor after join (the join is the sync point),
     // so they stay plain fields — no atomic traffic on the task hot path.
+    // Join-synchronized, not lock-guarded: deliberately unannotated.
     uint64_t tasks_run = 0;
     uint64_t busy_ns = 0;
   };
@@ -92,8 +94,11 @@ class ThreadPool {
   std::atomic<uint64_t> steals_{0};
   std::atomic<uint64_t> failed_steals_{0};
   bool record_timing_ = false;  // fixed at construction (metrics installed?)
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  // idle_mutex_ guards no fields — it exists to serialize the sleepers'
+  // predicate checks (over the atomics above) with Submit()'s notify and the
+  // destructor's stop flip, closing the check-then-sleep race.
+  Mutex idle_mutex_;
+  CondVar idle_cv_;
 };
 
 /// Completion tracking for a batch of pool tasks. Run() wraps the task with
@@ -114,8 +119,10 @@ class TaskGroup {
  private:
   ThreadPool* pool_;
   std::atomic<uint64_t> outstanding_{0};
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  // Pairs the last task's decrement-and-notify with Wait()'s predicate
+  // check; the count itself is the atomic above, so nothing is guarded.
+  Mutex mutex_;
+  CondVar cv_;
 };
 
 }  // namespace bcast

@@ -136,6 +136,11 @@ class FaultProcess {
 
   const FaultModel& model_;
   Rng* rng_;
+  // Thread-confined, deliberately unannotated (util/thread_annotations.h
+  // conventions): a FaultProcess is owned by one simulated client and its
+  // lazily realized per-channel states are only ever touched from that
+  // client's Observe() calls — there is no lock whose capability could
+  // guard them.
   std::vector<ChannelState> states_;
 };
 

@@ -45,7 +45,7 @@ Registry::Shard* Registry::CurrentShard() {
   if (tls_shard_cache.uid == uid_) {
     return static_cast<Shard*>(tls_shard_cache.shard);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   shards_.push_back(std::make_unique<Shard>());
   Shard* shard = shards_.back().get();
   tls_shard_cache = {uid_, shard};
@@ -53,7 +53,7 @@ Registry::Shard* Registry::CurrentShard() {
 }
 
 Counter Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = counter_index_.find(name);
   if (it != counter_index_.end()) return Counter(this, it->second);
   BCAST_CHECK(counter_names_.size() < kMaxCounters)
@@ -65,7 +65,7 @@ Counter Registry::GetCounter(std::string_view name) {
 }
 
 Gauge Registry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -77,7 +77,7 @@ Gauge Registry::GetGauge(std::string_view name) {
 }
 
 Histogram Registry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -108,14 +108,14 @@ void Histogram::Record(uint64_t value) const {
 }
 
 void Registry::SetMeta(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   meta_[std::string(key)] = std::string(value);
 }
 
 MetricsSnapshot Registry::Snapshot() const {
   MetricsSnapshot snapshot;
   snapshot.version = kMetricsSchemaVersion;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (size_t index = 0; index < counter_names_.size(); ++index) {
     uint64_t total = 0;
     for (const std::unique_ptr<Shard>& shard : shards_) {

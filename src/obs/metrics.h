@@ -29,10 +29,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bcast::obs {
 
@@ -171,15 +173,21 @@ class Registry {
   Shard* CurrentShard();
 
   const uint64_t uid_;  // process-unique; keys the thread-local shard cache
-  mutable std::mutex mutex_;
-  std::vector<std::string> counter_names_;  // index -> name
-  std::map<std::string, uint32_t, std::less<>> counter_index_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // One registration lock guards every name table and the shard list; the
+  // cells the returned handles point at are atomics, so the hot write path
+  // (Counter::Add via the thread-local shard cache) never takes it.
+  mutable Mutex mutex_;
+  // index -> name
+  std::vector<std::string> counter_names_ BCAST_GUARDED_BY(mutex_);
+  std::map<std::string, uint32_t, std::less<>> counter_index_
+      BCAST_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Shard>> shards_ BCAST_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<std::atomic<int64_t>>, std::less<>>
-      gauges_;
+      gauges_ BCAST_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<internal::HistogramCells>, std::less<>>
-      histograms_;
-  std::map<std::string, std::string, std::less<>> meta_;
+      histograms_ BCAST_GUARDED_BY(mutex_);
+  std::map<std::string, std::string, std::less<>> meta_
+      BCAST_GUARDED_BY(mutex_);
 };
 
 /// RAII timer: records elapsed nanoseconds into `hist` at scope exit. With a

@@ -27,12 +27,12 @@ void TraceRecorder::RecordComplete(std::string name, uint64_t start_ns,
   event.start_ns = start_ns >= origin_ns_ ? start_ns - origin_ns_ : 0;
   event.duration_ns = duration_ns;
   event.thread_id = CurrentThreadId();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceRecorder::Event> TraceRecorder::Events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return events_;
 }
 

@@ -11,10 +11,12 @@
 #define BCAST_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bcast::obs {
 
@@ -42,8 +44,8 @@ class TraceRecorder {
 
  private:
   const uint64_t origin_ns_;
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  mutable Mutex mutex_;
+  std::vector<Event> events_ BCAST_GUARDED_BY(mutex_);
 };
 
 /// RAII span against the globally installed recorder (obs/obs.h). The

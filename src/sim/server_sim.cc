@@ -127,6 +127,9 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
       }
       batch.push_back({&*next_tree, server_options});
     }
+    // All parallelism is encapsulated in PlanMany's pool-and-join; the
+    // simulator itself stays single-threaded, so none of its state needs
+    // lock annotations (util/thread_annotations.h conventions).
     std::vector<Result<BroadcastPlan>> plans =
         PlanMany(batch, options.planner_threads);
     for (const Result<BroadcastPlan>& plan : plans) {

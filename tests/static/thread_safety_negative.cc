@@ -1,0 +1,42 @@
+// Thread-safety-analysis fixture: MUST FAIL to compile under
+//
+//   clang++ -std=c++20 -fsyntax-only -Wthread-safety -Werror
+//
+// (registered with WILL_FAIL as the ThreadSafetyAnnotations.NegativeRejected
+// ctest when the toolchain is Clang). It encodes the acceptance contract
+// "deliberately removing an annotation / dropping a lock fails the build":
+// every access below is the kind of bug the -Wthread-safety gate exists to
+// reject. If this file ever compiles, the analysis is off or the wrapper
+// annotations in util/mutex.h have been hollowed out.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Incumbent {
+ public:
+  // BUG: writes the guarded fields with no lock held.
+  void ImproveUnlocked(double v) {
+    best_v_ = v;
+    has_best_ = true;
+  }
+
+  // BUG: calls a REQUIRES member without holding the capability.
+  double ReadWithoutLock() const { return BestLocked(); }
+
+ private:
+  double BestLocked() const BCAST_REQUIRES(mutex_) { return best_v_; }
+
+  mutable bcast::Mutex mutex_;
+  bool has_best_ BCAST_GUARDED_BY(mutex_) = false;
+  double best_v_ BCAST_GUARDED_BY(mutex_) = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  Incumbent incumbent;
+  incumbent.ImproveUnlocked(1.5);
+  return incumbent.ReadWithoutLock() < 0.0 ? 1 : 0;
+}

@@ -1,0 +1,120 @@
+"""Unit tests for tools/check_obs_overhead.py (stdlib unittest).
+
+Drives the CLI via subprocess so the exit-code contract (0 within budget,
+1 over budget, 2 usage/malformed input) is what is actually tested.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir))
+SCRIPT = os.path.join(REPO_ROOT, "tools", "check_obs_overhead.py")
+
+
+def report(times, run_type="iteration"):
+    return {"benchmarks": [
+        {"name": name, "real_time": t, "run_type": run_type}
+        for name, t in times.items()]}
+
+
+class CheckObsOverheadTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = self._tmp.name
+        self.addCleanup(self._tmp.cleanup)
+
+    def write_json(self, name, payload):
+        path = os.path.join(self.dir, name)
+        with open(path, "w") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_check(self, baseline, with_obs, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, baseline, with_obs, *extra],
+            capture_output=True, text=True)
+
+    def test_passes_within_budget(self):
+        baseline = self.write_json("b.json", report({"BM_a": 100.0,
+                                                     "BM_b": 200.0}))
+        with_obs = self.write_json("o.json", report({"BM_a": 102.0,
+                                                     "BM_b": 204.0}))
+        result = self.run_check(baseline, with_obs)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("check_obs_overhead: OK", result.stdout)
+
+    def test_fails_over_budget(self):
+        baseline = self.write_json("b.json", report({"BM_a": 100.0,
+                                                     "BM_b": 200.0}))
+        with_obs = self.write_json("o.json", report({"BM_a": 150.0,
+                                                     "BM_b": 300.0}))
+        result = self.run_check(baseline, with_obs)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("exceeds", result.stderr)
+
+    def test_budget_flag(self):
+        baseline = self.write_json("b.json", report({"BM_a": 100.0}))
+        with_obs = self.write_json("o.json", report({"BM_a": 150.0}))
+        result = self.run_check(baseline, with_obs, "--max-overhead", "0.6")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_jitter_cancels_in_geomean(self):
+        # Symmetric noise: one benchmark 10% slower, one ~10% faster. The
+        # geomean stays ~1.0 so the suite passes the 5% budget.
+        baseline = self.write_json("b.json", report({"BM_a": 100.0,
+                                                     "BM_b": 100.0}))
+        with_obs = self.write_json("o.json", report({"BM_a": 110.0,
+                                                     "BM_b": 90.9090909}))
+        self.assertEqual(self.run_check(baseline, with_obs).returncode, 0)
+
+    def test_aggregates_ignored(self):
+        baseline = self.write_json("b.json", report({"BM_a": 100.0}))
+        payload = report({"BM_a": 101.0})
+        payload["benchmarks"].extend(
+            report({"BM_a_mean": 500.0}, run_type="aggregate")["benchmarks"])
+        with_obs = self.write_json("o.json", payload)
+        self.assertEqual(self.run_check(baseline, with_obs).returncode, 0)
+
+    def test_malformed_json_exits_two_without_traceback(self):
+        baseline = self.write_json("b.json", "not json at all")
+        with_obs = self.write_json("o.json", report({"BM_a": 1.0}))
+        result = self.run_check(baseline, with_obs)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("not valid JSON", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_missing_file_exits_two_without_traceback(self):
+        with_obs = self.write_json("o.json", report({"BM_a": 1.0}))
+        result = self.run_check(os.path.join(self.dir, "absent.json"),
+                                with_obs)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("cannot read", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_benchmark_missing_field_exits_two(self):
+        baseline = self.write_json(
+            "b.json", {"benchmarks": [{"name": "BM_a"}]})
+        with_obs = self.write_json("o.json", report({"BM_a": 1.0}))
+        result = self.run_check(baseline, with_obs)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("malformed benchmark record", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_no_shared_benchmarks_exits_two(self):
+        baseline = self.write_json("b.json", report({"BM_a": 1.0}))
+        with_obs = self.write_json("o.json", report({"BM_b": 1.0}))
+        result = self.run_check(baseline, with_obs)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("no shared benchmarks", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

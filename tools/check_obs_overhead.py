@@ -22,13 +22,31 @@ import sys
 
 
 def load_times(path):
-    with open(path) as f:
-        report = json.load(f)
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as error:
+        print(f"check_obs_overhead: cannot read {path}: {error}",
+              file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as error:
+        print(f"check_obs_overhead: {path} is not valid JSON: {error}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(report, dict):
+        print(f"check_obs_overhead: {path} is not a google-benchmark report",
+              file=sys.stderr)
+        sys.exit(2)
     times = {}
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        times[bench["name"]] = float(bench["real_time"])
+        try:
+            times[bench["name"]] = float(bench["real_time"])
+        except (KeyError, TypeError, ValueError) as error:
+            print(f"check_obs_overhead: malformed benchmark record in "
+                  f"{path}: {error}", file=sys.stderr)
+            sys.exit(2)
     return times
 
 

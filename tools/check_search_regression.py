@@ -28,16 +28,30 @@ GATED_FIELDS = ("dfs_expansions_unseeded", "dfs_expansions_seeded")
 
 
 def load_counts(path):
-    with open(path) as f:
-        report = json.load(f)
-    if report.get("bench") != "parallel_search":
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as error:
+        print(f"check_search_regression: cannot read {path}: {error}",
+              file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as error:
+        print(f"check_search_regression: {path} is not valid JSON: {error}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(report, dict) or report.get("bench") != "parallel_search":
         print(f"check_search_regression: {path} is not a parallel_search "
               "report", file=sys.stderr)
         sys.exit(2)
     counts = {}
     for instance in report.get("instances", []):
-        for field in GATED_FIELDS:
-            counts[(instance["name"], field)] = int(instance[field])
+        try:
+            for field in GATED_FIELDS:
+                counts[(instance["name"], field)] = int(instance[field])
+        except (KeyError, TypeError, ValueError) as error:
+            print(f"check_search_regression: malformed instance record in "
+                  f"{path}: {error}", file=sys.stderr)
+            sys.exit(2)
     return counts
 
 

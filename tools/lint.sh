@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# Lint runner: clang-format (diff mode) + clang-tidy over the library.
+# Lint runner: bcast_lint repo invariants + clang-format (diff mode) +
+# clang-tidy over the library.
 #
 # Usage:
 #   tools/lint.sh [--fix] [--build-dir <dir>]
 #
 # --fix applies clang-format edits in place instead of failing on diffs.
-# clang-tidy needs a compile_commands.json; pass --build-dir pointing at a
-# CMake build configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (default:
-# ./build). Tools that are not installed are skipped with a notice rather
-# than failing, so the script degrades gracefully on minimal machines.
+# clang-tidy and bcast_lint want a compile_commands.json; pass --build-dir
+# pointing at a CMake build configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# (default: ./build). Clang tools that are not installed are skipped with a
+# notice rather than failing, so the script degrades gracefully on minimal
+# machines; bcast_lint only needs python3 and always runs.
+#
+# Toolchain pinning: CI runs the clang-18 family, and mixing clang-format /
+# clang-tidy major versions produces spurious diffs and finding churn. The
+# tool names are overridable (CLANG_FORMAT=clang-format-18 CLANG_TIDY=
+# clang-tidy-18 tools/lint.sh), and whichever binary is found must match the
+# expected major version (BCAST_CLANG_MAJOR, default 18) or the script fails.
 
 set -u
 
@@ -24,6 +32,27 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+CLANG_TIDY=${CLANG_TIDY:-clang-tidy}
+BCAST_CLANG_MAJOR=${BCAST_CLANG_MAJOR:-18}
+
+# check_major <tool>: the tool's reported major version must match the pin.
+check_major() {
+  local tool=$1 version
+  version=$("$tool" --version 2>/dev/null |
+    sed -n 's/.*version \([0-9][0-9]*\)\..*/\1/p' | head -n1)
+  if [[ -z "$version" ]]; then
+    echo "lint.sh: cannot parse version of $tool" >&2
+    return 1
+  fi
+  if [[ "$version" != "$BCAST_CLANG_MAJOR" ]]; then
+    echo "lint.sh: $tool is major version $version, expected" \
+         "$BCAST_CLANG_MAJOR (set BCAST_CLANG_MAJOR or point" \
+         "CLANG_FORMAT/CLANG_TIDY at a pinned binary)" >&2
+    return 1
+  fi
+}
+
 # Library sources only: generated files and third-party code are out of scope.
 mapfile -t FILES < <(find src tools tests bench examples \
   \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) 2>/dev/null | sort)
@@ -34,38 +63,47 @@ fi
 
 STATUS=0
 
-# Timing discipline: all clock reads in the library go through
-# obs::MonotonicNanos (src/obs/clock.h) so instrumentation shares one clock
-# and stays stubbable. Raw std::chrono anywhere else in src/ is a lint error
-# (tests/benches/tools may time however they like).
-CHRONO_HITS=$(grep -rn 'std::chrono\|#include <chrono>' src \
-  --include='*.cc' --include='*.h' 2>/dev/null | grep -v '^src/obs/' || true)
-if [[ -n "$CHRONO_HITS" ]]; then
-  echo "lint.sh: raw std::chrono outside src/obs/ (use obs::MonotonicNanos):" >&2
-  echo "$CHRONO_HITS" >&2
+# Repo invariants (determinism, clock discipline, rng substreams, hot-path
+# allocation freedom, raw-thread containment). The clock rule here replaces
+# the old std::chrono grep this script used to carry.
+BCAST_LINT_ARGS=()
+if [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
+  BCAST_LINT_ARGS+=(--compile-commands "$BUILD_DIR/compile_commands.json")
+fi
+if ! python3 tools/bcast_lint.py "${BCAST_LINT_ARGS[@]}"; then
+  echo "lint.sh: bcast_lint reported findings" >&2
   STATUS=1
 fi
 
-if command -v clang-format >/dev/null 2>&1; then
-  if [[ $FIX -eq 1 ]]; then
-    clang-format -i "${FILES[@]}"
+if command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  if ! check_major "$CLANG_FORMAT"; then
+    STATUS=1
+  elif [[ $FIX -eq 1 ]]; then
+    "$CLANG_FORMAT" -i "${FILES[@]}"
   else
-    if ! clang-format --dry-run -Werror "${FILES[@]}"; then
+    if ! "$CLANG_FORMAT" --dry-run -Werror "${FILES[@]}"; then
       echo "lint.sh: clang-format found style violations (rerun with --fix)" >&2
       STATUS=1
     fi
   fi
 else
-  echo "lint.sh: clang-format not installed; skipping format check" >&2
+  echo "lint.sh: $CLANG_FORMAT not installed; skipping format check" >&2
 fi
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  if [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
+if command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  if ! check_major "$CLANG_TIDY"; then
+    STATUS=1
+  elif [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
     CC_FILES=()
     for f in "${FILES[@]}"; do
       [[ $f == *.cc || $f == *.cpp ]] && CC_FILES+=("$f")
     done
-    if ! clang-tidy -p "$BUILD_DIR" --quiet "${CC_FILES[@]}"; then
+    # --header-filter pulls findings in library headers into the run (headers
+    # have no compile command of their own); -warnings-as-errors makes every
+    # enabled check gating rather than advisory.
+    if ! "$CLANG_TIDY" -p "$BUILD_DIR" --quiet \
+         --header-filter='(src|tools)/.*\.h$' \
+         --warnings-as-errors='*' "${CC_FILES[@]}"; then
       echo "lint.sh: clang-tidy reported findings" >&2
       STATUS=1
     fi
@@ -75,7 +113,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
          "clang-tidy" >&2
   fi
 else
-  echo "lint.sh: clang-tidy not installed; skipping static analysis" >&2
+  echo "lint.sh: $CLANG_TIDY not installed; skipping static analysis" >&2
 fi
 
 exit $STATUS
