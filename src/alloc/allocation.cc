@@ -7,6 +7,21 @@
 
 namespace bcast {
 
+const char* PlanProvenanceName(PlanProvenance provenance) {
+  switch (provenance) {
+    case PlanProvenance::kExact:
+      return "exact";
+    case PlanProvenance::kAnytime:
+      return "anytime";
+    case PlanProvenance::kHeuristic:
+      return "heuristic";
+    case PlanProvenance::kStalePrevious:
+      return "stale-previous";
+  }
+  BCAST_CHECK(false) << "unknown PlanProvenance";
+  return "unknown";
+}
+
 void EmitSearchStats(const char* prefix, const SearchStats& stats) {
   obs::Registry* registry = obs::GlobalMetrics();
   if (registry == nullptr) return;

@@ -11,6 +11,7 @@
 #define BCAST_ALLOC_ALLOCATION_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "broadcast/schedule.h"
@@ -86,11 +87,32 @@ void EmitSearchStats(const char* prefix, const SearchStats& stats);
 /// "pruning." namespace. No-op when no registry is installed.
 void EmitPruningBreakdown(const SearchStats& stats);
 
+/// How an allocation was obtained — the quality class a consumer can rely
+/// on. The degradation ladder (core/planner.h) walks these top to bottom.
+enum class PlanProvenance {
+  kExact,          // proven optimal (search ran to completion)
+  kAnytime,        // best incumbent of a budget/deadline/cancel-stopped search
+  kHeuristic,      // a heuristic or baseline, no optimality claim
+  kStalePrevious,  // a previous cycle's plan re-served after planner failure
+};
+
+/// Canonical name ("exact", "anytime", "heuristic", "stale-previous").
+const char* PlanProvenanceName(PlanProvenance provenance);
+
 /// The outcome of an allocation algorithm.
 struct AllocationResult {
   SlotSequence slots;
   double average_data_wait = 0.0;
   SearchStats stats;
+  PlanProvenance provenance = PlanProvenance::kExact;
+  /// Bracket on the *optimal* average data wait for this (tree, channels)
+  /// instance: cost_lower_bound <= optimum <= cost_upper_bound. Exact results
+  /// have both equal to average_data_wait; anytime results report the folded
+  /// frontier bound; heuristics report an instance lower bound where one is
+  /// cheap (else NaN = unknown). cost_upper_bound always equals
+  /// average_data_wait of the returned (feasible) slots.
+  double cost_lower_bound = std::numeric_limits<double>::quiet_NaN();
+  double cost_upper_bound = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Average data wait of a slot sequence (formula 1): Σ W(d)·(slot(d)+1) / ΣW.

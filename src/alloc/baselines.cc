@@ -5,6 +5,7 @@
 
 #include "alloc/data_tree.h"
 #include "alloc/heuristics.h"
+#include "broadcast/cost.h"
 #include "obs/obs.h"
 
 namespace bcast {
@@ -12,11 +13,19 @@ namespace bcast {
 namespace {
 
 Result<AllocationResult> FinishFromSlots(const IndexTree& tree,
-                                         int num_channels, SlotSequence slots) {
+                                         int num_channels, SlotSequence slots,
+                                         PlanProvenance provenance) {
   BCAST_RETURN_IF_ERROR(ValidateSlotSequence(tree, num_channels, slots));
   AllocationResult result;
   result.slots = std::move(slots);
   result.average_data_wait = SlotSequenceDataWait(tree, result.slots);
+  result.provenance = provenance;
+  result.cost_upper_bound = result.average_data_wait;
+  // Exact products bracket themselves; everything else reports the cheap
+  // instance-wide release-date relaxation as its optimum lower bound.
+  result.cost_lower_bound = provenance == PlanProvenance::kExact
+                                ? result.average_data_wait
+                                : DataWaitLowerBound(tree, num_channels);
   return result;
 }
 
@@ -36,7 +45,8 @@ Result<AllocationResult> LevelAllocation(const IndexTree& tree,
   // Corollary 1: with channels >= the widest level, broadcasting level by
   // level is optimal and no search runs at all.
   obs::GetCounter("planner.corollary1_level_allocations").Increment();
-  return FinishFromSlots(tree, num_channels, tree.LevelNodes());
+  return FinishFromSlots(tree, num_channels, tree.LevelNodes(),
+                         PlanProvenance::kExact);
 }
 
 Result<AllocationResult> PreorderBaseline(const IndexTree& tree,
@@ -47,7 +57,8 @@ Result<AllocationResult> PreorderBaseline(const IndexTree& tree,
   if (num_channels < 1) return InvalidArgumentError("need at least one channel");
   return FinishFromSlots(tree, num_channels,
                          PackLinearOrder(tree, num_channels,
-                                         tree.PreorderSequence()));
+                                         tree.PreorderSequence()),
+                         PlanProvenance::kHeuristic);
 }
 
 Result<AllocationResult> GreedyWeightBaseline(const IndexTree& tree,
@@ -66,7 +77,8 @@ Result<AllocationResult> GreedyWeightBaseline(const IndexTree& tree,
   order.reserve(static_cast<size_t>(tree.num_nodes()));
   for (const auto& slot : single) order.push_back(slot[0]);
   return FinishFromSlots(tree, num_channels,
-                         PackLinearOrder(tree, num_channels, order));
+                         PackLinearOrder(tree, num_channels, order),
+                         PlanProvenance::kHeuristic);
 }
 
 Result<AllocationResult> RandomFeasibleAllocation(const IndexTree& tree,
@@ -92,7 +104,8 @@ Result<AllocationResult> RandomFeasibleAllocation(const IndexTree& tree,
     for (NodeId child : tree.children(node)) frontier.push_back(child);
   }
   return FinishFromSlots(tree, num_channels,
-                         PackLinearOrder(tree, num_channels, order));
+                         PackLinearOrder(tree, num_channels, order),
+                         PlanProvenance::kHeuristic);
 }
 
 }  // namespace bcast

@@ -344,6 +344,8 @@ Result<AllocationResult> DataTreeSearch::FindOptimal() {
   result.slots = BroadcastFromDataOrder(tree_, ctx.best_order);
   result.average_data_wait = ctx.best_v / tree_.total_data_weight();
   result.stats = ctx.stats;
+  result.cost_lower_bound = result.average_data_wait;
+  result.cost_upper_bound = result.average_data_wait;
   EmitSearchStats("search.data_tree", result.stats);
   return result;
 }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "alloc/data_tree.h"
+#include "broadcast/cost.h"
 #include "obs/obs.h"
 #include "util/check.h"
 #include "verify/verifier.h"
@@ -201,6 +202,9 @@ Result<AllocationResult> SortingHeuristic(const IndexTree& tree,
   }
   BCAST_RETURN_IF_ERROR(ValidateSlotSequence(tree, num_channels, result.slots));
   result.average_data_wait = SlotSequenceDataWait(tree, result.slots);
+  result.provenance = PlanProvenance::kHeuristic;
+  result.cost_upper_bound = result.average_data_wait;
+  result.cost_lower_bound = DataWaitLowerBound(tree, num_channels);
   // Debug builds re-verify through the independent checker (including the
   // ADW recount the release-mode validation above does not do).
   BCAST_DCHECK_OK(AllocationVerifier(tree)
@@ -440,6 +444,9 @@ Result<AllocationResult> ShrinkingHeuristic(const IndexTree& tree,
   }
   BCAST_RETURN_IF_ERROR(ValidateSlotSequence(tree, num_channels, result.slots));
   result.average_data_wait = SlotSequenceDataWait(tree, result.slots);
+  result.provenance = PlanProvenance::kHeuristic;
+  result.cost_upper_bound = result.average_data_wait;
+  result.cost_lower_bound = DataWaitLowerBound(tree, num_channels);
   BCAST_DCHECK_OK(AllocationVerifier(tree)
                       .VerifySlots(num_channels, result.slots,
                                    result.average_data_wait)

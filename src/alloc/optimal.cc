@@ -84,10 +84,14 @@ Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
     return InvalidArgumentError("num_threads must be >= 0 (0 = hardware)");
   }
 
+  const bool budgeted = options.budget.active();
   if (num_channels >= tree.max_level_width()) {
     return LevelAllocation(tree, num_channels);
   }
-  if (num_channels == 1 && options.use_pruning) {
+  // The data-tree fast path has no anytime support; with an active budget
+  // the one-channel case routes through the budget-aware topological search
+  // instead (same optimum, and the degradation ladder stays uniform).
+  if (num_channels == 1 && options.use_pruning && !budgeted) {
     DataTreeOptions dt_options;
     dt_options.max_steps = options.max_expansions;
     auto search = DataTreeSearch::Create(tree, dt_options);
@@ -110,8 +114,27 @@ Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
   const double seed_cost_v = ResolveSeedCost(tree, num_channels, options);
   int threads = options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
                                          : options.num_threads;
-  if (threads > 1) return FindOptimalTopoParallel(*search, threads, seed_cost_v);
-  return search->FindOptimalDfs(seed_cost_v);
+  Result<AllocationResult> result = InternalError("unreachable");
+  if (budgeted && options.budget.max_expansions > 0) {
+    // Deterministic expansion budget: always the canonical sequential DFS,
+    // so the anytime incumbent is byte-identical across thread counts.
+    result = search->FindOptimalDfs(seed_cost_v, &options.budget);
+  } else if (threads > 1) {
+    result = FindOptimalTopoParallel(*search, threads, seed_cost_v,
+                                     budgeted ? &options.budget : nullptr);
+  } else {
+    result = search->FindOptimalDfs(seed_cost_v,
+                                    budgeted ? &options.budget : nullptr);
+  }
+  if (!result.ok() && budgeted &&
+      result.status().code() == StatusCode::kResourceExhausted) {
+    // Degradation ladder stage 3: the budget fired before any complete path
+    // (or the hard valve tripped) — serve the sorting heuristic rather than
+    // nothing. Tagged kHeuristic with its own (verified) cost bracket.
+    obs::GetCounter("search.budget.heuristic_fallback").Increment();
+    return SortingHeuristic(tree, num_channels);
+  }
+  return result;
 }
 
 }  // namespace bcast

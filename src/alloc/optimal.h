@@ -14,6 +14,7 @@
 #include <limits>
 
 #include "alloc/allocation.h"
+#include "alloc/search_budget.h"
 #include "alloc/topo_search.h"
 #include "tree/index_tree.h"
 #include "util/status.h"
@@ -58,10 +59,21 @@ struct OptimalOptions {
   /// the *current* tree, used when seed_incumbent == kPrevious. NaN = no
   /// previous allocation available (falls back to the heuristic seed).
   double warm_start_adw = std::numeric_limits<double>::quiet_NaN();
+
+  /// Anytime budget (inactive by default — identical behavior to before).
+  /// With an active budget the search degrades instead of failing: a stop
+  /// mid-search returns the incumbent tagged kAnytime with cost bounds, and
+  /// a stop before any complete path falls back to SortingHeuristic tagged
+  /// kHeuristic. Determinism routing: budget.max_expansions > 0 forces the
+  /// canonical sequential DFS regardless of num_threads (byte-identical
+  /// anytime results across thread counts); deadline/cancel-only budgets
+  /// keep the parallel engine (wall-clock already broke determinism).
+  SearchBudget budget;
 };
 
 /// Exact minimum-average-data-wait allocation. Errors on trees over 64 nodes
-/// (use the heuristics) or if the search budget is exhausted.
+/// (use the heuristics) or if the search budget is exhausted (only without an
+/// active anytime budget — see OptimalOptions::budget).
 Result<AllocationResult> FindOptimalAllocation(const IndexTree& tree,
                                                int num_channels,
                                                const OptimalOptions& options = {});

@@ -1,0 +1,60 @@
+// Resource budget for the exact allocation searches, enabling *anytime*
+// behaviour: when the budget runs out mid-search, the engines stop and return
+// the best incumbent found so far (tagged PlanProvenance::kAnytime, with a
+// cost-bound gap) instead of running to completion or failing outright.
+//
+// Three independent stop conditions compose; any subset may be active:
+//
+//   * max_expansions — deterministic soft budget counted in node expansions.
+//     Expansion counts are part of the determinism contract (the same
+//     instance expands the same nodes in the same canonical order), so a
+//     fixed expansion budget yields byte-identical anytime results across
+//     runs AND across thread counts: FindOptimalAllocation routes
+//     expansion-budgeted searches through the canonical sequential DFS.
+//     This is the form tests and benches use.
+//   * deadline_ns — wall-clock budget, relative to search start, read
+//     through the injectable obs::Clock (nullptr = the real monotonic
+//     clock). Inherently non-deterministic; production servers use this.
+//   * cancel — cooperative CancelToken checked once per expansion, so a
+//     search stops within a bounded number of expansions of Cancel().
+//
+// Distinct from the pre-existing OptimalOptions::max_expansions *hard* valve,
+// which still aborts with ResourceExhausted and no result: the hard valve is
+// a runaway-search fuse, the SearchBudget is a quality/time dial.
+
+#ifndef BCAST_ALLOC_SEARCH_BUDGET_H_
+#define BCAST_ALLOC_SEARCH_BUDGET_H_
+
+#include <cstdint>
+
+#include "exec/cancel.h"
+#include "obs/clock.h"
+
+namespace bcast {
+
+struct SearchBudget {
+  /// Stop after this many node expansions (0 = unlimited). Deterministic and
+  /// thread-count-invariant (budgeted searches run the canonical DFS).
+  uint64_t max_expansions = 0;
+
+  /// Stop once this much wall time has elapsed since search start
+  /// (0 = no deadline). Read through `clock`; non-deterministic.
+  uint64_t deadline_ns = 0;
+
+  /// Time source for deadline_ns. nullptr = obs::MonotonicClock().
+  obs::Clock* clock = nullptr;
+
+  /// Optional cooperative cancellation, polled every expansion. Not owned;
+  /// must outlive the search. nullptr = not cancellable.
+  const CancelToken* cancel = nullptr;
+
+  /// True iff any stop condition is configured. Inactive budgets add zero
+  /// overhead and zero behaviour change to the search.
+  bool active() const {
+    return max_expansions > 0 || deadline_ns > 0 || cancel != nullptr;
+  }
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_ALLOC_SEARCH_BUDGET_H_

@@ -79,12 +79,19 @@ bool TopoBnbProblem::SubsetLess(uint64_t a, uint64_t b) const {
 
 Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
                                                  int num_threads,
-                                                 double seed_cost_v) {
+                                                 double seed_cost_v,
+                                                 const SearchBudget* budget) {
   TopoBnbProblem problem(search);
   ParallelSearchOptions options;
   options.num_threads = num_threads;
   options.max_expansions = search.options().max_expansions;
   options.initial_bound = seed_cost_v;
+  if (budget != nullptr && budget->active()) {
+    options.soft_budget_expansions = budget->max_expansions;
+    options.deadline_ns = budget->deadline_ns;
+    options.clock = budget->clock;
+    options.cancel = budget->cancel;
+  }
   auto parallel = RunParallelSearch(problem, options);
   if (!parallel.ok()) return parallel.status();
 
@@ -92,6 +99,16 @@ Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
   AllocationResult result;
   result.slots = CompoundPathToSlots(tree.root(), parallel->best_path);
   result.average_data_wait = parallel->best_v / tree.total_data_weight();
+  if (parallel->truncated) {
+    result.provenance = PlanProvenance::kAnytime;
+    result.cost_upper_bound = result.average_data_wait;
+    result.cost_lower_bound =
+        parallel->frontier_lower / tree.total_data_weight();
+  } else {
+    result.provenance = PlanProvenance::kExact;
+    result.cost_lower_bound = result.average_data_wait;
+    result.cost_upper_bound = result.average_data_wait;
+  }
   result.stats.nodes_expanded = parallel->stats.nodes_expanded;
   result.stats.nodes_generated = problem.nodes_generated();
   result.stats.nodes_pruned = problem.nodes_pruned();

@@ -72,9 +72,19 @@ class TopoBnbProblem : public BnbProblem {
 /// wait of a known feasible allocation (+inf = unseeded). Same contract as
 /// TopoTreeSearch::FindOptimalDfs: a correct upper bound leaves the returned
 /// slots/ADW byte-identical and only shrinks the explored tree.
+///
+/// `budget` (optional) enables anytime stops (deadline / cancel / soft
+/// expansion budget); a truncated run returns the engine's incumbent tagged
+/// PlanProvenance::kAnytime with a valid cost-bound bracket. NOTE: *which*
+/// incumbent is live when a stop fires depends on steal timing, so budgeted
+/// parallel runs are not byte-stable across thread counts — the
+/// deterministic expansion-budget contract belongs to the sequential DFS
+/// (FindOptimalAllocation routes it there). Use this path for wall-clock
+/// deadlines and cancellation, where real time already broke determinism.
 Result<AllocationResult> FindOptimalTopoParallel(
     const TopoTreeSearch& search, int num_threads,
-    double seed_cost_v = std::numeric_limits<double>::infinity());
+    double seed_cost_v = std::numeric_limits<double>::infinity(),
+    const SearchBudget* budget = nullptr);
 
 }  // namespace bcast
 

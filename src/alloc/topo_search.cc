@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "verify/verifier.h"
 
@@ -388,6 +389,15 @@ struct TopoTreeSearch::DfsContext {
   // when est > seed_bound — strictly, so equal-cost optima survive and the
   // result stays byte-identical to the unseeded search.
   double seed_bound = std::numeric_limits<double>::infinity();
+  // Anytime budget (kOptimize only; null = run to completion). Once a stop
+  // condition fires, `stopped` latches and every remaining frame folds its
+  // state's admissible estimate into frontier_lower instead of recursing, so
+  // min(frontier_lower, best_v) is a valid lower bound on the true optimum.
+  const SearchBudget* budget = nullptr;
+  uint64_t deadline_abs_ns = 0;
+  obs::Clock* clock = nullptr;
+  bool stopped = false;
+  double frontier_lower = std::numeric_limits<double>::infinity();
   std::vector<uint64_t> current_path;
   std::vector<uint64_t> best_path;
   // Per-depth neighbor arenas (the search object's level_scratch_). Depth d
@@ -398,6 +408,33 @@ struct TopoTreeSearch::DfsContext {
 
 Status TopoTreeSearch::Dfs(DfsContext* ctx, uint64_t mask, uint64_t last_set,
                            int depth, double v) {
+  if (ctx->budget != nullptr) {
+    // Soft budget checks run BEFORE the expansion is counted, so an
+    // expansion budget of N expands exactly N states — the deterministic
+    // contract tests rely on. The deadline is polled every 1024 expansions
+    // (and on entry, so a pre-expired deadline stops immediately); the
+    // cancel token every expansion.
+    if (!ctx->stopped) {
+      const SearchBudget& budget = *ctx->budget;
+      if (budget.cancel != nullptr && budget.cancel->cancelled()) {
+        ctx->stopped = true;
+      } else if (budget.max_expansions > 0 &&
+                 ctx->stats.nodes_expanded >= budget.max_expansions) {
+        ctx->stopped = true;
+      } else if (ctx->deadline_abs_ns != 0 &&
+                 (ctx->stats.nodes_expanded & 1023) == 0 &&
+                 ctx->clock->NowNanos() >= ctx->deadline_abs_ns) {
+        ctx->stopped = true;
+      }
+    }
+    if (ctx->stopped) {
+      // Abandoned subtree: its cheapest completion costs at least the
+      // admissible estimate V + U, folded into the reported lower bound.
+      ctx->frontier_lower =
+          std::min(ctx->frontier_lower, v + LowerBound(mask, depth));
+      return Status::Ok();
+    }
+  }
   ++ctx->stats.nodes_expanded;
   if (ctx->stats.nodes_expanded > options_.max_expansions) {
     return ResourceExhaustedError("topological-tree search exceeded " +
@@ -503,11 +540,20 @@ Result<SearchStats> TopoTreeSearch::ReducedTreeStats(uint64_t limit) {
   return ctx.stats;
 }
 
-Result<AllocationResult> TopoTreeSearch::FindOptimalDfs(double seed_cost_v) {
+Result<AllocationResult> TopoTreeSearch::FindOptimalDfs(
+    double seed_cost_v, const SearchBudget* budget) {
   DfsContext ctx;
   ctx.mode = DfsContext::Mode::kOptimize;
   ctx.seed_bound = seed_cost_v;
   ctx.levels = &level_scratch_;
+  if (budget != nullptr && budget->active()) {
+    ctx.budget = budget;
+    ctx.clock =
+        budget->clock != nullptr ? budget->clock : obs::MonotonicClock();
+    if (budget->deadline_ns > 0) {
+      ctx.deadline_abs_ns = ctx.clock->NowNanos() + budget->deadline_ns;
+    }
+  }
   const size_t max_path = static_cast<size_t>(tree_.num_nodes()) + 1;
   ctx.current_path.reserve(max_path);
   ctx.best_path.reserve(max_path);
@@ -515,12 +561,31 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalDfs(double seed_cost_v) {
   double v0 = tree_.is_data(root) ? tree_.weight(root) : 0.0;
   BCAST_RETURN_IF_ERROR(Dfs(&ctx, Bit(root), Bit(root), 1, v0));
   if (ctx.best_v == std::numeric_limits<double>::infinity()) {
+    if (ctx.stopped) {
+      return ResourceExhaustedError(
+          "search budget exhausted before any feasible allocation was "
+          "completed");
+    }
     return InternalError("no feasible allocation found (pruning dead end)");
   }
   AllocationResult result;
   result.slots = CompoundPathToSlots(root, ctx.best_path);
   result.average_data_wait = ctx.best_v / tree_.total_data_weight();
   result.stats = ctx.stats;
+  const double total_weight = tree_.total_data_weight();
+  if (ctx.stopped) {
+    result.provenance = PlanProvenance::kAnytime;
+    result.cost_upper_bound = result.average_data_wait;
+    // The optimum's path was completed, bound-cut (both imply best_v is
+    // optimal) or abandoned — and then folded into frontier_lower.
+    result.cost_lower_bound =
+        std::min(ctx.frontier_lower, ctx.best_v) / total_weight;
+    obs::GetCounter("search.topo_dfs.anytime_stops").Increment();
+  } else {
+    result.provenance = PlanProvenance::kExact;
+    result.cost_lower_bound = result.average_data_wait;
+    result.cost_upper_bound = result.average_data_wait;
+  }
   EmitSearchStats("search.topo_dfs", result.stats);
   // Debug builds statically verify every search product: feasibility of the
   // slot sequence and the accumulated V against an independent recount.
@@ -603,6 +668,8 @@ Result<AllocationResult> TopoTreeSearch::FindOptimalBestFirst(
       AllocationResult result;
       result.slots = CompoundPathToSlots(root, path);
       result.average_data_wait = node.v / tree_.total_data_weight();
+      result.cost_lower_bound = result.average_data_wait;
+      result.cost_upper_bound = result.average_data_wait;
       result.stats = stats;
       result.stats.paths_completed = 1;
       EmitSearchStats("search.topo_best_first", result.stats);

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "alloc/allocation.h"
+#include "alloc/search_budget.h"
 #include "tree/index_tree.h"
 #include "util/status.h"
 
@@ -109,8 +110,17 @@ class TopoTreeSearch {
   /// bound_cutoffs / nodes_expanded shrink. A seed below the true optimum
   /// makes every path a dead end (INTERNAL error) — callers add relative
   /// slack for float round-trips (see FindOptimalAllocation).
+  ///
+  /// `budget` (optional) makes the search *anytime*: when a budget stop
+  /// condition fires mid-search, the best incumbent so far is returned with
+  /// provenance kAnytime and [cost_lower_bound, cost_upper_bound] bracketing
+  /// the true optimum (the lower bound folds the admissible estimates of
+  /// every abandoned subtree). The DFS visits states in one canonical order,
+  /// so a pure expansion-count budget is fully deterministic. A budget that
+  /// fires before the first complete path yields RESOURCE_EXHAUSTED.
   Result<AllocationResult> FindOptimalDfs(
-      double seed_cost_v = std::numeric_limits<double>::infinity());
+      double seed_cost_v = std::numeric_limits<double>::infinity(),
+      const SearchBudget* budget = nullptr);
 
   /// Exact optimum by the paper's best-first strategy (priority queue on
   /// E(X) = V(X) + U(X), with dominance pruning on equal states).

@@ -32,6 +32,18 @@ const char* PlanStrategyName(PlanStrategy strategy) {
   return "unknown";
 }
 
+const char* DegradePolicyName(DegradePolicy policy) {
+  switch (policy) {
+    case DegradePolicy::kNever:
+      return "never";
+    case DegradePolicy::kAnytime:
+      return "anytime";
+    case DegradePolicy::kHeuristic:
+      return "heuristic";
+  }
+  return "unknown";
+}
+
 namespace {
 
 Result<AllocationResult> RunStrategy(const IndexTree& tree,
@@ -108,6 +120,45 @@ Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
     allocation = std::move(result).value();
   }
 
+  // Degradation ladder accounting: only an OPTIMAL request can be degraded —
+  // the search budget fired and the allocation carries a weaker provenance
+  // than the exact optimum that was asked for.
+  const bool degraded = strategy == PlanStrategy::kOptimal &&
+                        allocation.provenance != PlanProvenance::kExact;
+  if (degraded) {
+    switch (allocation.provenance) {
+      case PlanProvenance::kAnytime:
+        if (options.degrade == DegradePolicy::kNever) {
+          return ResourceExhaustedError(
+              "plan budget exhausted and degrade policy 'never' forbids "
+              "serving the anytime incumbent");
+        }
+        obs::GetCounter("planner.degraded.anytime").Increment();
+        break;
+      case PlanProvenance::kHeuristic:
+        if (options.degrade != DegradePolicy::kHeuristic) {
+          return ResourceExhaustedError(
+              std::string("plan budget exhausted before any incumbent and "
+                          "degrade policy '") +
+              DegradePolicyName(options.degrade) +
+              "' forbids the heuristic fallback");
+        }
+        obs::GetCounter("planner.degraded.heuristic").Increment();
+        break;
+      case PlanProvenance::kExact:
+      case PlanProvenance::kStalePrevious:
+        break;
+    }
+    obs::GetCounter("planner.deadline_missed").Increment();
+    // A degraded plan bypassed the exact search's completion invariants, so
+    // re-check it even in release builds before anyone serves it.
+    BCAST_RETURN_IF_ERROR(AllocationVerifier(tree)
+                              .VerifySlots(options.num_channels,
+                                           allocation.slots,
+                                           allocation.average_data_wait)
+                              .ToStatus());
+  }
+
   if (obs::MetricsEnabled()) {
     obs::GetCounter("planner.plans").Increment();
     obs::GetCounter(std::string("planner.strategy.") +
@@ -121,6 +172,8 @@ Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
 
   BroadcastPlan plan{strategy, std::move(allocation),
                      std::move(schedule).value(), AccessCosts{}, std::nullopt};
+  plan.provenance = plan.allocation.provenance;
+  plan.degraded = degraded;
   plan.costs = ComputeAccessCosts(tree, plan.schedule);
   if (options.replication.root_copies > 1) {
     auto replicated = BuildReplicatedProgram(
@@ -139,10 +192,13 @@ Result<BroadcastPlan> PlanBroadcast(const IndexTree& tree,
 }
 
 std::vector<Result<BroadcastPlan>> PlanMany(
-    const std::vector<PlanRequest>& requests, int num_threads) {
-  // Prefilled so a request the pool never reaches (it cannot happen — the
-  // destructor drains — but also the null-tree case below) holds a Status,
-  // not an uninitialized slot.
+    const std::vector<PlanRequest>& requests, int num_threads,
+    ThreadPool::TaskHook task_hook) {
+  // Prefilled so a request whose pool task never completes — a throwing
+  // task-hook (fault injection) skips the body, and the null-tree case below
+  // short-circuits — holds a Status, not an uninitialized slot. Slots still
+  // carrying this sentinel after Wait() are rewritten with the group's
+  // error below.
   std::vector<Result<BroadcastPlan>> results(
       requests.size(),
       Result<BroadcastPlan>(InternalError("PlanMany slot not filled")));
@@ -162,7 +218,7 @@ std::vector<Result<BroadcastPlan>> PlanMany(
   }
 
   obs::ScopedSpan span("plan_many");
-  ThreadPool pool(num_threads);
+  ThreadPool pool(num_threads, std::move(task_hook));
   TaskGroup group(&pool);
   // Join-synchronized, deliberately unannotated (util/thread_annotations.h
   // conventions): each task writes only its own slot and the vector is not
@@ -171,7 +227,18 @@ std::vector<Result<BroadcastPlan>> PlanMany(
   for (size_t i = 0; i < requests.size(); ++i) {
     group.Run([&plan_one, i] { plan_one(i); });
   }
-  group.Wait();
+  const Status pool_status = group.Wait();
+  if (!pool_status.ok()) {
+    // Some task bodies were skipped (hook threw, task threw). Their slots
+    // still hold the prefill sentinel; surface the group's first error there
+    // so callers see why that request has no plan.
+    for (auto& slot : results) {
+      if (!slot.ok() && slot.status().code() == StatusCode::kInternal &&
+          slot.status().message() == "PlanMany slot not filled") {
+        slot = pool_status;
+      }
+    }
+  }
   return results;
 }
 

@@ -19,6 +19,7 @@
 #include "alloc/replication.h"
 #include "broadcast/cost.h"
 #include "broadcast/schedule.h"
+#include "exec/thread_pool.h"
 #include "tree/index_tree.h"
 #include "util/status.h"
 
@@ -40,11 +41,27 @@ enum class PlanStrategy {
 /// Human-readable strategy name ("optimal", "sorting", ...).
 const char* PlanStrategyName(PlanStrategy strategy);
 
+/// How far PlanBroadcast may degrade an OPTIMAL plan when the search budget
+/// or deadline (OptimalOptions::budget) fires before the exact search
+/// finishes. The ladder runs exact -> anytime incumbent -> sorting
+/// heuristic; each policy admits a prefix of it.
+enum class DegradePolicy {
+  kNever,      // budget exhaustion is an error (RESOURCE_EXHAUSTED)
+  kAnytime,    // serve a truncated-search incumbent, but never a heuristic
+  kHeuristic,  // full ladder: incumbent if one exists, else the heuristic
+};
+
+/// Human-readable policy name ("never", "anytime", "heuristic").
+const char* DegradePolicyName(DegradePolicy policy);
+
 struct PlannerOptions {
   int num_channels = 1;
   PlanStrategy strategy = PlanStrategy::kAuto;
   ShrinkOptions shrink;
   OptimalOptions optimal;
+  /// Degradation ceiling for budgeted OPTIMAL plans (ignored when
+  /// optimal.budget is inactive — an unbudgeted exact search never degrades).
+  DegradePolicy degrade = DegradePolicy::kHeuristic;
   /// Index replication of the planned cycle. root_copies == 1 (the default)
   /// plans the bare schedule; > 1 additionally materializes a replicated
   /// program (BroadcastPlan::replicated), which shortens the probe wait and
@@ -60,6 +77,14 @@ struct BroadcastPlan {
   AccessCosts costs;
   /// Present iff PlannerOptions::replication asked for extra index copies.
   std::optional<ReplicatedProgram> replicated;
+  /// Mirror of allocation.provenance, hoisted for callers that only keep the
+  /// schedule around.
+  PlanProvenance provenance = PlanProvenance::kExact;
+  /// True iff an OPTIMAL request was answered with something weaker than the
+  /// exact optimum (anytime incumbent or heuristic fallback). Strategies that
+  /// are heuristic by construction (kSorting, kAuto on large trees, ...) are
+  /// not "degraded" — they delivered exactly what was asked for.
+  bool degraded = false;
 };
 
 /// Plans one broadcast cycle. Errors propagate from the chosen algorithm
@@ -82,8 +107,16 @@ struct PlanRequest {
 /// return — per-request errors land in the corresponding slot instead of
 /// failing the batch. Intended for replanning fleets of trees at once (see
 /// sim/server_sim.h's adaptive server).
+///
+/// `task_hook`, when non-null, is installed as the pool's per-task hook
+/// (fault injection, tracing). A throwing hook or task does not crash or
+/// hang the batch: the pool converts it to a Status, and every slot whose
+/// task did not complete receives that Status instead of a plan. The hook is
+/// ignored on the sequential inline path (num_threads <= 1 or a single
+/// request) — there is no pool task to intercept.
 std::vector<Result<BroadcastPlan>> PlanMany(
-    const std::vector<PlanRequest>& requests, int num_threads = 0);
+    const std::vector<PlanRequest>& requests, int num_threads = 0,
+    ThreadPool::TaskHook task_hook = nullptr);
 
 }  // namespace bcast
 

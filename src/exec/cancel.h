@@ -1,0 +1,38 @@
+// Cooperative cancellation for in-flight work.
+//
+// A CancelToken is a one-way latch shared between a controller (the planner
+// loop, a CLI timeout handler, a test) and the workers it wants to be able to
+// stop. Workers poll cancelled() at a bounded granularity — the search engines
+// check once per node expansion — so after Cancel() the remaining work is
+// bounded by (number of in-flight workers) x (one expansion each) before
+// everyone unwinds. Cancellation is cooperative and irreversible: there is no
+// Reset(), a fresh token is cheap.
+
+#ifndef BCAST_EXEC_CANCEL_H_
+#define BCAST_EXEC_CANCEL_H_
+
+#include <atomic>
+
+namespace bcast {
+
+/// One-way cancellation latch. Thread-safe; poll-based (no callbacks).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() has been called. Relaxed-cheap: intended to be polled
+  /// on hot paths (once per search expansion).
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_EXEC_CANCEL_H_

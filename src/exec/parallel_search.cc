@@ -169,6 +169,10 @@ class Engine {
       : problem_(problem),
         options_(options),
         num_threads_(num_threads),
+        clock_(options.clock != nullptr ? options.clock
+                                        : obs::MonotonicClock()),
+        frontier_lower_(std::bit_cast<uint64_t>(
+            std::numeric_limits<double>::infinity())),
         // A finite initial_bound pre-tightens the shared word; +inf packs to
         // +inf (its low 16 bits are zero), i.e. the unseeded behavior.
         incumbent_(PackCostCeiling(options.initial_bound)),
@@ -178,30 +182,61 @@ class Engine {
                    : nullptr) {}
 
   Result<ParallelSearchResult> Run() {
+    if (options_.deadline_ns > 0) {
+      deadline_abs_ns_ = clock_->NowNanos() + options_.deadline_ns;
+    }
     {
       ThreadPool pool(num_threads_);
-      TaskGroup group(&pool);
+      TaskGroup group(&pool, options_.cancel);
       group_ = &group;
       BnbState root = problem_.Root();
       group.Run([this, root] {
         std::vector<uint64_t> prefix;
         Visit(root, &prefix, 0);
       });
-      group.Wait();
+      Status pool_status = group.Wait();
       group_ = nullptr;
+      // A task exception means part of the tree silently went unexplored —
+      // neither an exact nor a sound anytime result can be claimed.
+      if (!pool_status.ok()) Abort(std::move(pool_status));
     }  // pool drained and joined: every stat below is quiescent
 
     if (aborted_.load(std::memory_order_acquire)) {
       MutexLock lock(&abort_mutex_);
       return abort_status_;
     }
+    const bool stopped = stopped_.load(std::memory_order_acquire);
+    const uint64_t stop_snapshot =
+        stop_snapshot_.load(std::memory_order_relaxed);
     MutexLock lock(&best_mutex_);
     if (!has_best_) {
+      if (stopped) {
+        return ResourceExhaustedError(
+            "search budget exhausted before any feasible allocation was "
+            "completed");
+      }
       return InternalError("no feasible allocation found (pruning dead end)");
     }
     ParallelSearchResult result;
     result.best_path = best_path_;
     result.best_v = best_v_;
+    result.truncated = stopped;
+    // lower <= optimum always: the optimum's path was either completed
+    // (best_v == optimum), cut by the incumbent bound (which proves best_v
+    // == optimum), or abandoned on stop — and then its admissible estimate
+    // was folded into frontier_lower_.
+    result.frontier_lower =
+        stopped ? std::min(
+                      std::bit_cast<double>(
+                          frontier_lower_.load(std::memory_order_relaxed)),
+                      best_v_)
+                : best_v_;
+    if (stopped && stop_snapshot != kNoSnapshot) {
+      result.cancel_latency_expansions =
+          expanded_.load(std::memory_order_relaxed) - stop_snapshot;
+      obs::GetHistogram("planner.cancel_latency_expansions")
+          .Record(result.cancel_latency_expansions);
+    }
     result.stats.nodes_expanded = expanded_.load(std::memory_order_relaxed);
     result.stats.paths_completed = completed_.load(std::memory_order_relaxed);
     result.stats.bound_pruned = bound_pruned_.load(std::memory_order_relaxed);
@@ -257,6 +292,13 @@ class Engine {
   // frame's scratch arena.
   void Visit(const BnbState& state, std::vector<uint64_t>* prefix, int level) {
     if (aborted_.load(std::memory_order_relaxed)) return;
+    // Soft-stop check BEFORE counting the expansion: a stopped search
+    // abandons this subtree but folds its admissible estimate into the
+    // global lower bound so the reported gap still brackets the optimum.
+    if (Stopping(expanded_.load(std::memory_order_relaxed))) {
+      FoldFrontier(problem_.Estimate(state));
+      return;
+    }
     const uint64_t n = expanded_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (n > options_.max_expansions) {
       Abort(ResourceExhaustedError(
@@ -285,6 +327,12 @@ class Engine {
     for (size_t i = 0; i < subsets.size(); ++i) {
       const uint64_t subset = subsets[i];
       if (aborted_.load(std::memory_order_relaxed)) return;
+      if (stopped_.load(std::memory_order_relaxed)) {
+        // Mid-loop stop: the un-visited children are all reached through
+        // `state`, so folding the parent's estimate once covers them.
+        FoldFrontier(problem_.Estimate(state));
+        return;
+      }
       BnbState child = problem_.Child(state, subset);
       if (problem_.Estimate(child) > CeilingCost()) {
         bound_pruned_.fetch_add(1, std::memory_order_relaxed);
@@ -311,6 +359,56 @@ class Engine {
 
   double CeilingCost() const {
     return UnpackCostCeiling(incumbent_.load(std::memory_order_relaxed));
+  }
+
+  // True once any soft stop condition holds; latches stopped_ on the first
+  // observation. `n` is the current expansion count (pre-increment, so the
+  // deadline is also polled on the very first visit — a pre-expired deadline
+  // stops the search before it expands anything).
+  bool Stopping(uint64_t n) {
+    if (stopped_.load(std::memory_order_relaxed)) return true;
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      LatchStop();
+      return true;
+    }
+    if (options_.soft_budget_expansions > 0 &&
+        n >= options_.soft_budget_expansions) {
+      LatchStop();
+      return true;
+    }
+    if (deadline_abs_ns_ != 0 && (n & 1023) == 0 &&
+        clock_->NowNanos() >= deadline_abs_ns_) {
+      LatchStop();
+      return true;
+    }
+    return false;
+  }
+
+  void LatchStop() {
+    bool expected = false;
+    if (stopped_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      // First observer snapshots the expansion count; the final count minus
+      // this snapshot is the measured stop latency (expansions by workers
+      // already past their own entry check).
+      uint64_t none = kNoSnapshot;
+      stop_snapshot_.compare_exchange_strong(
+          none, expanded_.load(std::memory_order_relaxed),
+          std::memory_order_acq_rel);
+    }
+  }
+
+  // Atomic min of an abandoned state's admissible estimate. Non-negative
+  // doubles compare like their bit patterns viewed as unsigned integers.
+  void FoldFrontier(double estimate) {
+    BCAST_DCHECK_GE(estimate, 0.0);
+    const uint64_t bits = std::bit_cast<uint64_t>(estimate);
+    uint64_t current = frontier_lower_.load(std::memory_order_relaxed);
+    while (bits < current &&
+           !frontier_lower_.compare_exchange_weak(current, bits,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_relaxed)) {
+    }
   }
 
   void TryImprove(double v, const std::vector<uint64_t>& path) {
@@ -350,11 +448,20 @@ class Engine {
     }
   }
 
+  static constexpr uint64_t kNoSnapshot =
+      std::numeric_limits<uint64_t>::max();
+
   const BnbProblem& problem_;
   const ParallelSearchOptions& options_;
   const int num_threads_;
+  obs::Clock* const clock_;
+  uint64_t deadline_abs_ns_ = 0;  // fixed in Run() before workers start
 
   TaskGroup* group_ = nullptr;
+
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> stop_snapshot_{kNoSnapshot};
+  std::atomic<uint64_t> frontier_lower_;  // bit pattern; seeded to +inf
 
   std::atomic<uint64_t> incumbent_;  // seeded in the constructor
   Mutex best_mutex_;

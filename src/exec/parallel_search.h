@@ -51,6 +51,8 @@
 #include <limits>
 #include <vector>
 
+#include "exec/cancel.h"
+#include "obs/clock.h"
 #include "util/status.h"
 
 namespace bcast {
@@ -112,6 +114,25 @@ struct ParallelSearchOptions {
   /// and the result stays byte-identical to the unseeded run; only
   /// bound_pruned / nodes_expanded change. Must be >= 0 and not NaN.
   double initial_bound = std::numeric_limits<double>::infinity();
+
+  // --- Anytime stop conditions (alloc/search_budget.h maps onto these). ---
+  // Unlike max_expansions (a hard fuse that aborts with RESOURCE_EXHAUSTED),
+  // these stop the search *gracefully*: in-flight workers unwind, abandoned
+  // frontier states fold their admissible estimates into a global lower
+  // bound, and the best incumbent so far is returned with truncated = true.
+
+  /// Soft expansion budget (0 = none). NOTE: which incumbent is best when the
+  /// budget trips depends on steal timing here — callers needing the
+  /// deterministic budget contract must use the sequential DFS
+  /// (FindOptimalAllocation routes expansion-budgeted searches there).
+  uint64_t soft_budget_expansions = 0;
+  /// Wall-clock budget relative to search start (0 = none), read via `clock`.
+  uint64_t deadline_ns = 0;
+  /// Time source for deadline_ns; nullptr = obs::MonotonicClock().
+  obs::Clock* clock = nullptr;
+  /// Cooperative cancellation, polled once per expansion (and by the task
+  /// wrapper for queued-but-unstarted subtrees). Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 struct ParallelSearchStats {
@@ -132,13 +153,26 @@ struct ParallelSearchResult {
   std::vector<uint64_t> best_path;
   /// Exact accumulated cost of best_path (not the rounded shared bound).
   double best_v = 0.0;
+  /// True when a soft stop condition (budget / deadline / cancel) ended the
+  /// search early: best_path is the incumbent, not a proven optimum.
+  bool truncated = false;
+  /// Lower bound on the true optimal cost. Untruncated runs: == best_v.
+  /// Truncated runs: min over every abandoned frontier state's admissible
+  /// estimate (and best_v), so frontier_lower <= optimum <= best_v always.
+  double frontier_lower = 0.0;
+  /// Expansions that slipped in between the engine first observing a stop
+  /// condition and the last worker unwinding (0 if never stopped) — the
+  /// measured cancellation latency, bounded by the in-flight worker count.
+  uint64_t cancel_latency_expansions = 0;
   ParallelSearchStats stats;
 };
 
-/// Runs the search to completion. Errors: RESOURCE_EXHAUSTED past
-/// max_expansions, INTERNAL if no goal state exists (a pruning dead end, or
-/// an initial_bound below the true optimum), INVALID_ARGUMENT for negative
-/// num_threads / cache_shards / initial_bound.
+/// Runs the search to completion (or to its soft stop condition — see
+/// ParallelSearchResult::truncated). Errors: RESOURCE_EXHAUSTED past
+/// max_expansions or when a soft stop fires before any goal was completed,
+/// INTERNAL if no goal state exists (a pruning dead end, or an initial_bound
+/// below the true optimum), INVALID_ARGUMENT for negative num_threads /
+/// cache_shards / initial_bound.
 Result<ParallelSearchResult> RunParallelSearch(
     const BnbProblem& problem, const ParallelSearchOptions& options);
 

@@ -1,5 +1,6 @@
 #include "exec/thread_pool.h"
 
+#include <string>
 #include <utility>
 
 #include "obs/clock.h"
@@ -20,7 +21,8 @@ thread_local WorkerIdentity tls_worker;
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, TaskHook task_hook)
+    : task_hook_(std::move(task_hook)) {
   BCAST_CHECK_GE(num_threads, 1) << "thread pool needs at least one worker";
   // Sampled once: per-task clock reads only happen when someone will consume
   // them, and the flag never changes while workers are running.
@@ -65,6 +67,8 @@ ThreadPool::~ThreadPool() {
       .Add(steals_.load(std::memory_order_relaxed));
   registry->GetCounter("pool.failed_steals")
       .Add(failed_steals_.load(std::memory_order_relaxed));
+  registry->GetCounter("pool.task_exceptions")
+      .Add(task_exceptions_.load(std::memory_order_relaxed));
 }
 
 int ThreadPool::HardwareConcurrency() {
@@ -126,6 +130,18 @@ std::function<void()> ThreadPool::TakeTask(int self) {
   return nullptr;
 }
 
+void ThreadPool::RunGuarded(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    // Only raw Submit() tasks can land here — TaskGroup's wrapper catches
+    // its own task's exceptions and reports them through Wait(). With no
+    // waiter to tell, count and carry on rather than std::terminate the
+    // whole process for one bad task.
+    task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void ThreadPool::WorkerLoop(int index) {
   tls_worker = {this, index};
   for (;;) {
@@ -137,10 +153,10 @@ void ThreadPool::WorkerLoop(int index) {
       Worker& self = *workers_[static_cast<size_t>(index)];
       if (record_timing_) {
         const uint64_t begin_ns = obs::MonotonicNanos();
-        task();
+        RunGuarded(task);
         self.busy_ns += obs::MonotonicNanos() - begin_ns;
       } else {
-        task();
+        RunGuarded(task);
       }
       ++self.tasks_run;
       continue;
@@ -157,14 +173,38 @@ void ThreadPool::WorkerLoop(int index) {
   }
 }
 
-TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+TaskGroup::TaskGroup(ThreadPool* pool, const CancelToken* cancel)
+    : pool_(pool), cancel_(cancel) {
   BCAST_CHECK(pool != nullptr);
+}
+
+void TaskGroup::RecordError(Status status) {
+  obs::GetCounter("pool.group_task_errors").Increment();
+  MutexLock lock(&mutex_);
+  if (first_error_.ok()) first_error_ = std::move(status);
 }
 
 void TaskGroup::Run(std::function<void()> task) {
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  pool_->Submit([this, task = std::move(task)] {
-    task();
+  const uint64_t task_index = pool_->NextTaskIndex();
+  pool_->Submit([this, task_index, task = std::move(task)] {
+    // A task dequeued after cancellation skips its body but still counts as
+    // finished — the outstanding_ decrement below must run exactly once per
+    // task no matter what, or Wait() hangs forever.
+    if (cancel_ == nullptr || !cancel_->cancelled()) {
+      try {
+        const ThreadPool::TaskHook& hook = pool_->task_hook();
+        if (hook) hook(task_index);
+        task();
+      } catch (const std::exception& e) {
+        RecordError(
+            InternalError(std::string("pool task threw: ") + e.what()));
+      } catch (...) {
+        RecordError(InternalError("pool task threw a non-std exception"));
+      }
+    } else {
+      obs::GetCounter("pool.tasks_skipped_cancelled").Increment();
+    }
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last task out: pair with the Wait() predicate under the lock so the
       // waiter cannot check-then-sleep between our decrement and notify.
@@ -174,13 +214,14 @@ void TaskGroup::Run(std::function<void()> task) {
   });
 }
 
-void TaskGroup::Wait() {
+Status TaskGroup::Wait() {
   BCAST_CHECK_EQ(pool_->CurrentWorkerIndex(), -1)
       << "TaskGroup::Wait() on a pool worker would deadlock";
   MutexLock lock(&mutex_);
   cv_.Wait(&mutex_, [this] {
     return outstanding_.load(std::memory_order_acquire) == 0;
   });
+  return first_error_;
 }
 
 }  // namespace bcast

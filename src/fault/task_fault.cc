@@ -1,0 +1,70 @@
+#include "fault/task_fault.h"
+
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/obs.h"
+#include "util/rng.h"
+
+namespace bcast {
+
+namespace {
+
+// SplitMix64 finalizer: a stateless bijective mixer, so the per-task decision
+// needs no shared RNG state and is identical no matter which worker asks.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Result<TaskFaultInjector> TaskFaultInjector::Create(
+    const TaskFaultOptions& options) {
+  if (options.fail_fraction < 0.0 || options.fail_fraction > 1.0 ||
+      options.stall_fraction < 0.0 || options.stall_fraction > 1.0) {
+    return InvalidArgumentError("task-fault fractions must be in [0, 1]");
+  }
+  if (options.fail_fraction + options.stall_fraction > 1.0) {
+    return InvalidArgumentError(
+        "task-fault fail_fraction + stall_fraction must be <= 1");
+  }
+  return TaskFaultInjector(options);
+}
+
+TaskFaultInjector::TaskFaultInjector(const TaskFaultOptions& options)
+    : options_(options),
+      key_(Rng(options.seed).Substream(RngStream::kTaskFault).NextU64()) {}
+
+TaskFaultInjector::TaskFaultInjector(TaskFaultInjector&& other) noexcept
+    : options_(other.options_),
+      key_(other.key_),
+      fault_count_(other.fault_count_.load(std::memory_order_relaxed)),
+      stall_count_(other.stall_count_.load(std::memory_order_relaxed)) {}
+
+void TaskFaultInjector::OnTask(uint64_t task_index) {
+  if (!options_.active()) return;
+  // Top 53 bits of the mixed index as a uniform double in [0, 1).
+  const uint64_t h = Mix64(key_ ^ Mix64(task_index));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u < options_.fail_fraction) {
+    fault_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::GetCounter("fault.task.injected_failures").Increment();
+    throw TaskFaultError("injected task fault at index " +
+                         std::to_string(task_index));
+  }
+  if (u < options_.fail_fraction + options_.stall_fraction) {
+    stall_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::GetCounter("fault.task.injected_stalls").Increment();
+    // Busy-wait (not sleep): keeps the clock discipline — src/ outside
+    // src/obs/ never touches std::chrono — and a stalled worker thread is
+    // exactly the failure mode being modelled.
+    const uint64_t until = obs::MonotonicNanos() + options_.stall_ns;
+    while (obs::MonotonicNanos() < until) {
+    }
+  }
+}
+
+}  // namespace bcast

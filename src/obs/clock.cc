@@ -11,4 +11,18 @@ uint64_t MonotonicNanos() {
           .count());
 }
 
+namespace {
+
+class RealClock : public Clock {
+ public:
+  uint64_t NowNanos() const override { return MonotonicNanos(); }
+};
+
+}  // namespace
+
+Clock* MonotonicClock() {
+  static RealClock* const kClock = new RealClock;
+  return kClock;
+}
+
 }  // namespace bcast::obs

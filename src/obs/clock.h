@@ -2,10 +2,17 @@
 // measurement in src/ reads time through MonotonicNanos(), so timing policy
 // (clock choice, resolution) lives in exactly one place — tools/lint.sh
 // enforces that no other file under src/ touches std::chrono directly.
+//
+// Deadline-aware code paths (the anytime search budget) take time through the
+// Clock interface instead of calling MonotonicNanos() directly, so tests can
+// inject a ManualClock and exercise deadline expiry deterministically without
+// sleeping. Production callers pass MonotonicClock() (or nullptr, which the
+// consumers resolve to it).
 
 #ifndef BCAST_OBS_CLOCK_H_
 #define BCAST_OBS_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace bcast::obs {
@@ -13,6 +20,41 @@ namespace bcast::obs {
 /// Nanoseconds on std::chrono::steady_clock. Monotonic, unrelated to wall
 /// time; only differences are meaningful.
 uint64_t MonotonicNanos();
+
+/// Injectable time source for deadline checks. Implementations must be
+/// thread-safe: search workers poll NowNanos() concurrently.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current monotonic time in nanoseconds. Only differences are meaningful.
+  virtual uint64_t NowNanos() const = 0;
+};
+
+/// The process-wide real clock, backed by MonotonicNanos(). Never null;
+/// singleton lifetime (do not delete).
+Clock* MonotonicClock();
+
+/// Test clock that only moves when told to. Thread-safe.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(uint64_t now_ns = 0) : now_ns_(now_ns) {}
+
+  uint64_t NowNanos() const override {
+    return now_ns_.load(std::memory_order_acquire);
+  }
+
+  void Advance(uint64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_acq_rel);
+  }
+
+  void Set(uint64_t now_ns) {
+    now_ns_.store(now_ns, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<uint64_t> now_ns_;
+};
 
 }  // namespace bcast::obs
 

@@ -1,6 +1,8 @@
 #include "sim/server_sim.h"
 
+#include <algorithm>
 #include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -9,6 +11,7 @@
 #include "obs/obs.h"
 #include "tree/alphabetic.h"
 #include "util/check.h"
+#include "verify/verifier.h"
 #include "workload/frequency.h"
 
 namespace bcast {
@@ -63,6 +66,23 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
   PlannerOptions plan_options;
   plan_options.num_channels = options.num_channels;
   plan_options.strategy = options.strategy;
+  plan_options.degrade = options.degrade;
+  plan_options.optimal.budget.max_expansions = options.plan_budget_expansions;
+  plan_options.optimal.budget.deadline_ns = options.plan_deadline_ns;
+  plan_options.optimal.budget.clock = options.plan_clock;
+
+  // Chaos injector for the planning pool (inactive by default). The injector
+  // outlives every PlanMany call below; each cycle wraps it in a hook that
+  // offsets the pool-local task index by the cycle, because PlanMany builds
+  // a fresh pool per call (indices restart at 0) and an unoffset injector
+  // would fault the same batch positions every cycle. PlanMany submits the
+  // batch sequentially, so (cycle, slot) -> fault is fully deterministic.
+  std::optional<TaskFaultInjector> task_fault_injector;
+  if (options.task_faults.active()) {
+    auto injector = TaskFaultInjector::Create(options.task_faults);
+    if (!injector.ok()) return injector.status();
+    task_fault_injector.emplace(std::move(injector).value());
+  }
 
   // Initial plan from the (uniform) prior estimates.
   auto replan = [&](const std::vector<double>& weights)
@@ -82,6 +102,12 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
   // Slot sequence of the allocation currently on air, kept for warm-starting
   // the next due replan.
   SlotSequence active_slots = std::move(active->second.allocation.slots);
+  PlanProvenance active_provenance = active->second.provenance;
+
+  // Ladder stage 4 state: consecutive failed replans drive an exponential
+  // backoff on the next attempt (1, 2, 4, ... up to 64 cycles).
+  int consecutive_replan_failures = 0;
+  int next_replan_attempt = 0;
 
   // Downlink faults draw from their own substream: a lossless run makes no
   // fault draws, so its query sequence is bit-identical to the seed loop.
@@ -100,8 +126,15 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
     // current estimates, never at cycle 0: the initial plan is already in
     // place). Both are planned from weights fixed for the whole cycle —
     // drift applies only between cycles — so they batch through PlanMany.
-    const bool replan_due = options.replan_every > 0 && cycle > 0 &&
-                            cycle % options.replan_every == 0;
+    bool replan_due = options.replan_every > 0 && cycle > 0 &&
+                      cycle % options.replan_every == 0;
+    if (replan_due && cycle < next_replan_attempt) {
+      // Backing off after consecutive replan failures: keep the stale plan
+      // on air and skip this attempt entirely.
+      replan_due = false;
+      obs::GetCounter("planner.backoff_skips").Increment();
+      ++report.backoff_skips;
+    }
     auto oracle_tree = BuildCatalogIndex(true_weights, options.index_fanout);
     if (!oracle_tree.ok()) return oracle_tree.status();
     Result<IndexTree> next_tree = InternalError("no server replan this cycle");
@@ -130,17 +163,57 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
     // All parallelism is encapsulated in PlanMany's pool-and-join; the
     // simulator itself stays single-threaded, so none of its state needs
     // lock annotations (util/thread_annotations.h conventions).
-    std::vector<Result<BroadcastPlan>> plans =
-        PlanMany(batch, options.planner_threads);
-    for (const Result<BroadcastPlan>& plan : plans) {
-      if (!plan.ok()) return plan.status();
+    ThreadPool::TaskHook cycle_hook = nullptr;
+    if (task_fault_injector.has_value()) {
+      TaskFaultInjector* injector = &*task_fault_injector;
+      const uint64_t base = static_cast<uint64_t>(cycle) * 1024;
+      cycle_hook = [injector, base](uint64_t index) {
+        injector->OnTask(base + index);
+      };
     }
-    const BroadcastSchedule& oracle_schedule = plans[0]->schedule;
+    std::vector<Result<BroadcastPlan>> plans =
+        PlanMany(batch, options.planner_threads, cycle_hook);
+
+    Result<BroadcastPlan> oracle_plan = std::move(plans[0]);
+    if (!oracle_plan.ok() && task_fault_injector.has_value()) {
+      // An injected pool fault can kill the oracle's task too. The oracle is
+      // the report's baseline, not part of the serving ladder, so retry it
+      // inline (no pool, no hook) once.
+      obs::GetCounter("sim.oracle_plan_retries").Increment();
+      oracle_plan = PlanBroadcast(*oracle_tree, plan_options);
+    }
+    if (!oracle_plan.ok()) return oracle_plan.status();
+    const BroadcastSchedule& oracle_schedule = oracle_plan->schedule;
+
     if (replan_due) {
-      active_tree = std::move(next_tree).value();
-      active_schedule = std::move(plans[1]->schedule);
-      active_data = active_tree.DataNodes();
-      active_slots = std::move(plans[1]->allocation.slots);
+      Result<BroadcastPlan>& server_plan = plans[1];
+      if (server_plan.ok()) {
+        active_tree = std::move(next_tree).value();
+        active_schedule = std::move(server_plan->schedule);
+        active_data = active_tree.DataNodes();
+        active_slots = std::move(server_plan->allocation.slots);
+        active_provenance = server_plan->provenance;
+        consecutive_replan_failures = 0;
+      } else if (options.allow_stale) {
+        // Ladder stage 4: the planner failed outright (injected fault,
+        // budget under DegradePolicy::kNever, ...). Keep the previous
+        // cycle's plan on air — it is still feasible for the tree it was
+        // built for — and back off exponentially before the next attempt.
+        ++consecutive_replan_failures;
+        next_replan_attempt =
+            cycle + (1 << std::min(consecutive_replan_failures, 6));
+        active_provenance = PlanProvenance::kStalePrevious;
+        obs::GetCounter("planner.degraded.stale").Increment();
+        ++report.stale_serves;
+        // Every degraded serve is re-verified before going (back) on air.
+        BCAST_RETURN_IF_ERROR(
+            AllocationVerifier(active_tree)
+                .VerifySlots(options.num_channels, active_slots,
+                             SlotSequenceDataWait(active_tree, active_slots))
+                .ToStatus());
+      } else {
+        return server_plan.status();
+      }
     }
 
     // Serve this cycle's queries from the TRUE distribution. Under a faulty
@@ -195,6 +268,7 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
     stats.estimation_error =
         NormalizedEstimationError(estimator.EstimatedWeights(), true_weights);
     stats.delivery_success_rate = delivery_rate;
+    stats.served_provenance = active_provenance;
     report.cycles.push_back(stats);
     report.mean_oracle += oracle_wait;
     report.mean_delivery_success += delivery_rate;

@@ -17,6 +17,8 @@
 
 #include "core/planner.h"
 #include "fault/fault_model.h"
+#include "fault/task_fault.h"
+#include "obs/clock.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -57,6 +59,31 @@ struct AdaptiveServerOptions {
   /// shrinks the searched tree (see search.seed.* / search.*.bound_* in the
   /// metrics). Only plans that dispatch to the exact search are affected.
   bool warm_start_replans = true;
+  /// Deterministic per-replan expansion budget for OPTIMAL plans (0 = none).
+  /// Exhaustion yields an anytime incumbent, byte-identical across
+  /// planner_threads values (see alloc/search_budget.h).
+  uint64_t plan_budget_expansions = 0;
+  /// Wall-clock planning deadline per replan, nanoseconds (0 = none). Not
+  /// deterministic across runs or thread counts — prefer the expansion
+  /// budget when reproducibility matters.
+  uint64_t plan_deadline_ns = 0;
+  /// Clock the deadline is measured on; null = the monotonic wall clock.
+  /// Tests inject an obs::ManualClock to make deadline behavior
+  /// deterministic.
+  obs::Clock* plan_clock = nullptr;
+  /// Degradation ceiling handed to the planner (ladder stages 2-3:
+  /// anytime incumbent, then sorting heuristic).
+  DegradePolicy degrade = DegradePolicy::kHeuristic;
+  /// Ladder stage 4: when a due replan fails outright, keep serving the
+  /// previous cycle's plan (provenance kStalePrevious) and back off
+  /// exponentially before retrying, instead of failing the run. false =
+  /// propagate the planning error.
+  bool allow_stale = true;
+  /// Chaos testing: injects deterministic failures/stalls into the planning
+  /// pool's tasks (fault/task_fault.h). Only pooled plans are exposed
+  /// (planner_threads >= 2 and a batch of >= 2 requests); a killed oracle
+  /// task is retried inline so the report baseline survives.
+  TaskFaultOptions task_faults;
 };
 
 /// Per-cycle outcome.
@@ -72,6 +99,9 @@ struct CycleStats {
   /// Fraction of this cycle's queries whose data bucket was delivered within
   /// the retry budget (1.0 on a lossless downlink).
   double delivery_success_rate = 1.0;
+  /// Provenance of the plan on air this cycle; kStalePrevious while a failed
+  /// replan leaves the previous cycle's plan serving (ladder stage 4).
+  PlanProvenance served_provenance = PlanProvenance::kExact;
 };
 
 struct AdaptiveServerReport {
@@ -82,6 +112,10 @@ struct AdaptiveServerReport {
   double mean_oracle = 0.0;
   /// Mean per-cycle delivery success (1.0 on a lossless downlink).
   double mean_delivery_success = 1.0;
+  /// Cycles served from a stale (previous-cycle) plan after a failed replan.
+  int stale_serves = 0;
+  /// Due replans skipped while backing off after consecutive failures.
+  int backoff_skips = 0;
 };
 
 /// Mutates the true weights between cycles (popularity drift).

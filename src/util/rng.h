@@ -20,9 +20,10 @@ namespace bcast {
 /// e.g. turning fault injection on (which consumes kFault draws) leaves the
 /// kQuery stream — and therefore every sampled query — bit-identical.
 enum class RngStream : uint64_t {
-  kQuery = 0x5175657279ull,  // workload/query sampling
-  kFault = 0x4661756c74ull,  // fault-injection draws (loss, corruption)
-  kTree = 0x54726565ull,     // random tree/input generation
+  kQuery = 0x5175657279ull,      // workload/query sampling
+  kFault = 0x4661756c74ull,      // fault-injection draws (loss, corruption)
+  kTree = 0x54726565ull,         // random tree/input generation
+  kTaskFault = 0x5461736b46ull,  // planner-side task fault injection
 };
 
 /// Seedable PRNG with portable distribution helpers.

@@ -460,5 +460,100 @@ TEST(CliTest, SimulateSnapshotCarriesSeedAndDrawCounts) {
   std::remove(path.c_str());
 }
 
+TEST(CliTest, PlanBudgetFlagValidation) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree,
+                        "--plan-budget-expansions", "0"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("--plan-budget-expansions must be >= 1"),
+            std::string::npos);
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree,
+                        "--plan-budget-expansions=-4"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("--plan-budget-expansions must be >= 1"),
+            std::string::npos);
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree,
+                        "--plan-deadline-ms", "0"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("--plan-deadline-ms must be >= 1"), std::string::npos);
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree,
+                        "--plan-deadline-ms=-5"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("--plan-deadline-ms must be >= 1"), std::string::npos);
+}
+
+TEST(CliTest, PlanBudgetAndDeadlineAreMutuallyExclusive) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree,
+                        "--plan-budget-expansions", "10", "--plan-deadline-ms",
+                        "5"},
+                       &out),
+            1);
+  EXPECT_NE(out.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(CliTest, PlanRejectsUnknownDegradePolicy) {
+  std::string out;
+  EXPECT_EQ(
+      RunCommand({"plan", "--tree", kExampleTree, "--degrade", "maybe"}, &out),
+      1);
+  EXPECT_NE(out.find("unknown degrade policy 'maybe'"), std::string::npos);
+  EXPECT_NE(out.find("off, anytime or heuristic"), std::string::npos);
+}
+
+TEST(CliTest, DegradedPlanExitsThreeAndPrintsProvenance) {
+  // One expansion cannot finish the exact search on this tree: the ladder
+  // serves the heuristic, the CLI says so, and exits 3 (served, degraded).
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                         "--strategy", "optimal", "--plan-budget-expansions",
+                         "1"},
+                        &out);
+  EXPECT_EQ(code, 3) << out;
+  EXPECT_NE(out.find("provenance        : heuristic (degraded)"),
+            std::string::npos);
+  EXPECT_NE(out.find("optimum in ["), std::string::npos);
+}
+
+TEST(CliTest, GenerousBudgetStaysExactAndExitsZero) {
+  std::string budgeted, unbudgeted;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                         "--strategy", "optimal", "--plan-budget-expansions",
+                         "100000000"},
+                        &budgeted);
+  EXPECT_EQ(code, 0) << budgeted;
+  EXPECT_EQ(budgeted.find("provenance"), std::string::npos);
+  code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                     "--strategy", "optimal"},
+                    &unbudgeted);
+  ASSERT_EQ(code, 0);
+  EXPECT_EQ(budgeted, unbudgeted);
+}
+
+TEST(CliTest, DegradeOffMakesBudgetExhaustionAHardError) {
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--channels", "2",
+                         "--strategy", "optimal", "--plan-budget-expansions",
+                         "1", "--degrade", "off"},
+                        &out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, SimulateAcceptsPlanBudgetFlags) {
+  std::string out;
+  int code = RunCommand({"simulate", "--tree", kExampleTree, "--channels",
+                         "2", "--strategy", "optimal", "--queries", "200",
+                         "--plan-budget-expansions", "1"},
+                        &out);
+  EXPECT_EQ(code, 3) << out;
+  EXPECT_NE(out.find("provenance        : heuristic (degraded)"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace bcast

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "exec/cancel.h"
 #include "obs/obs.h"
 
 namespace bcast {
@@ -173,6 +177,111 @@ TEST(ThreadPoolTest, FailedStealAccessorIsMonotonic) {
   }
   group.Wait();
   EXPECT_GE(pool.failed_steal_count(), before);
+}
+
+TEST(ThreadPoolTest, TaskExceptionBecomesStatusFromWait) {
+  // A throwing group task must surface as a Status from Wait(), not
+  // std::terminate, and must not poison the group's other tasks.
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Run([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 16; ++i) {
+    group.Run([&ran] { ran.fetch_add(1); });
+  }
+  Status status = group.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.ToString().find("boom"), std::string::npos);
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionAlsoBecomesStatus) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Run([] { throw 42; });
+  Status status = group.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, RawSubmitExceptionIsSwallowedAndCounted) {
+  // Raw Submit has no waiter to hand a Status to; the last-resort guard
+  // swallows the exception (counted) instead of taking the process down.
+  obs::Registry registry;
+  {
+    obs::ScopedObservability scope(&registry, nullptr);
+    std::atomic<int> counter{0};
+    {
+      ThreadPool pool(2);
+      pool.Submit([] { throw std::runtime_error("raw"); });
+      for (int i = 0; i < 10; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    }
+    EXPECT_EQ(counter.load(), 10);
+  }
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_GE(snapshot.CounterOr("pool.task_exceptions", 0), 1u);
+}
+
+TEST(ThreadPoolTest, PreCancelledGroupSkipsTaskBodies) {
+  ThreadPool pool(2);
+  CancelToken cancel;
+  cancel.Cancel();
+  TaskGroup group(&pool, &cancel);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    group.Run([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_TRUE(group.Wait().ok());  // skipping is not an error
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, TaskHookSeesEveryGroupTask) {
+  std::atomic<int> hooked{0};
+  ThreadPool pool(2, [&hooked](uint64_t) { hooked.fetch_add(1); });
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    group.Run([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(hooked.load(), 32);
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, ThrowingHookFailsTheGroupNotTheProcess) {
+  // The fault-injection contract: a hook that throws skips the task body and
+  // lands in the waiter's Status, exactly like the task itself throwing.
+  ThreadPool pool(2, [](uint64_t) { throw std::runtime_error("hook fault"); });
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Run([&ran] { ran.fetch_add(1); });
+  Status status = group.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, GroupTaskIndicesAreSubmissionOrdered) {
+  // TaskGroup::Run draws the task index on the submitting thread, so a
+  // sequential submitter gets 0, 1, 2, ... regardless of execution order —
+  // the property deterministic fault injection relies on.
+  std::vector<uint64_t> seen;
+  std::mutex mu;
+  ThreadPool pool(4, [&](uint64_t index) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(index);
+  });
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([] {});
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(seen[i], i);
 }
 
 }  // namespace

@@ -139,6 +139,23 @@ class ClockDisciplineRuleTest(LintTreeTestCase):
                    ".time_since_epoch().count(); }\n")
         self.assertEqual(self.lint(rules=("clock-discipline",)), [])
 
+    def test_injectable_clock_member_calls_allowed(self):
+        # The deadline-aware planning path reads an injected obs::Clock via a
+        # member named clock — that is not libc clock() and must pass.
+        self.write("src/alloc/x.cc",
+                   "uint64_t f(const SearchBudget& b) {\n"
+                   "  return b.clock->NowNanos() + budget.clock()\n"
+                   "       + opts->clock()->NowNanos();\n"
+                   "}\n")
+        self.assertEqual(self.lint(rules=("clock-discipline",)), [])
+
+    def test_bare_libc_clock_still_flagged(self):
+        self.write("src/alloc/x.cc",
+                   "long f() { return clock(); }\n")
+        findings = self.lint(rules=("clock-discipline",))
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(self.rules_hit(findings), ["clock-discipline"])
+
     def test_suppression(self):
         self.write("src/sim/x.cc",
                    "// bcast-lint: allow(clock-discipline)\n"

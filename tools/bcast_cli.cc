@@ -22,10 +22,14 @@ constexpr char kUsage[] =
     "                 preorder|greedy-weight] [--threads N] [--simulate N]\n"
     "                [--bound paper-next-slot|packed]\n"
     "                [--seed-incumbent none|heuristic|previous]\n"
+    "                [--plan-budget-expansions B | --plan-deadline-ms D]\n"
+    "                [--degrade off|anytime|heuristic]\n"
     "                [--save <path>]\n"
     "  bcastctl simulate --tree <s-expr>|--tree-file <path>|--program <path>\n"
     "                [--channels k] [--strategy ...] [--threads N]\n"
     "                [--bound ...] [--seed-incumbent ...]\n"
+    "                [--plan-budget-expansions B | --plan-deadline-ms D]\n"
+    "                [--degrade ...]\n"
     "                [--queries N] [--seed S]\n"
     "                [--replicate-copies R] [--replicate-levels L]\n"
     "                [--loss-model none|bernoulli|gilbert-elliott]\n"
@@ -42,7 +46,10 @@ constexpr char kUsage[] =
     "  --metrics-out <path>   write a metrics snapshot (JSON, see\n"
     "                         docs/FORMATS.md) collected over the command\n"
     "  --trace-out <path>     write spans as a Chrome trace_event file\n"
-    "                         (load in chrome://tracing or Perfetto)\n";
+    "                         (load in chrome://tracing or Perfetto)\n"
+    "\n"
+    "exit codes: 0 ok, 1 error, 2 usage, 3 ok but the planner degraded\n"
+    "(budget/deadline fired; an anytime or heuristic plan was served)\n";
 
 // Parsed flag/value pairs; accepts both "--flag value" and "--flag=value".
 class FlagMap {
@@ -179,6 +186,61 @@ Status LoadSearchTuning(const FlagMap& flags, OptimalOptions* optimal) {
   return Status::Ok();
 }
 
+// --plan-budget-expansions / --plan-deadline-ms / --degrade: deadline-aware
+// anytime planning (see DESIGN.md section 14). The expansion budget is
+// deterministic across thread counts; the wall-clock deadline is not — the
+// two are mutually exclusive so a script cannot silently mix a reproducible
+// knob with an irreproducible one.
+Status LoadPlanBudget(const FlagMap& flags, PlannerOptions* options) {
+  auto budget = flags.GetInt("plan-budget-expansions", 0);
+  if (!budget.ok()) return budget.status();
+  auto deadline_ms = flags.GetInt("plan-deadline-ms", 0);
+  if (!deadline_ms.ok()) return deadline_ms.status();
+  const bool has_budget = flags.Get("plan-budget-expansions").has_value();
+  const bool has_deadline = flags.Get("plan-deadline-ms").has_value();
+  if (has_budget && *budget < 1) {
+    return InvalidArgumentError("--plan-budget-expansions must be >= 1, got " +
+                                std::to_string(*budget));
+  }
+  if (has_deadline && *deadline_ms < 1) {
+    return InvalidArgumentError("--plan-deadline-ms must be >= 1, got " +
+                                std::to_string(*deadline_ms));
+  }
+  if (has_budget && has_deadline) {
+    return InvalidArgumentError(
+        "--plan-budget-expansions and --plan-deadline-ms are mutually "
+        "exclusive (deterministic budget vs wall-clock deadline)");
+  }
+  options->optimal.budget.max_expansions = static_cast<uint64_t>(*budget);
+  options->optimal.budget.deadline_ns =
+      static_cast<uint64_t>(*deadline_ms) * 1'000'000ull;
+  if (auto degrade = flags.Get("degrade"); degrade.has_value()) {
+    if (*degrade == "off") {
+      options->degrade = DegradePolicy::kNever;
+    } else if (*degrade == "anytime") {
+      options->degrade = DegradePolicy::kAnytime;
+    } else if (*degrade == "heuristic") {
+      options->degrade = DegradePolicy::kHeuristic;
+    } else {
+      return InvalidArgumentError("unknown degrade policy '" + *degrade +
+                                  "' (expected off, anytime or heuristic)");
+    }
+  }
+  return Status::Ok();
+}
+
+// Prints the provenance line for a plan that is not the exact optimum and
+// folds its degraded bit into the CLI's exit-code decision.
+void ReportProvenance(const BroadcastPlan& plan, std::ostringstream* os,
+                      bool* degraded) {
+  if (plan.degraded) *degraded = true;
+  if (plan.provenance == PlanProvenance::kExact) return;
+  *os << "provenance        : " << PlanProvenanceName(plan.provenance);
+  if (plan.degraded) *os << " (degraded)";
+  *os << ", optimum in [" << plan.allocation.cost_lower_bound << ", "
+      << plan.allocation.cost_upper_bound << "] buckets\n";
+}
+
 Result<PlanStrategy> ParseStrategy(const std::string& name) {
   static constexpr std::pair<const char*, PlanStrategy> kStrategies[] = {
       {"auto", PlanStrategy::kAuto},
@@ -220,7 +282,7 @@ Status Simulate(const IndexTree& tree, const BroadcastSchedule& schedule,
   return Status::Ok();
 }
 
-Status CmdPlan(const FlagMap& flags, std::ostringstream* os) {
+Status CmdPlan(const FlagMap& flags, std::ostringstream* os, bool* degraded) {
   auto tree = LoadTree(flags);
   if (!tree.ok()) return tree.status();
 
@@ -235,11 +297,13 @@ Status CmdPlan(const FlagMap& flags, std::ostringstream* os) {
   if (!threads.ok()) return threads.status();
   options.optimal.num_threads = *threads;
   BCAST_RETURN_IF_ERROR(LoadSearchTuning(flags, &options.optimal));
+  BCAST_RETURN_IF_ERROR(LoadPlanBudget(flags, &options));
 
   auto plan = PlanBroadcast(*tree, options);
   if (!plan.ok()) return plan.status();
 
   *os << "strategy          : " << PlanStrategyName(plan->strategy_used) << "\n";
+  ReportProvenance(*plan, os, degraded);
   *os << plan->schedule.ToString(*tree);
   PrintCosts(*tree, plan->schedule, os);
 
@@ -294,7 +358,8 @@ Result<FaultModel> LoadFaultModel(const FlagMap& flags, int num_channels) {
   return FaultModel::CreateUniform(num_channels, spec);
 }
 
-Status CmdSimulate(const FlagMap& flags, std::ostringstream* os) {
+Status CmdSimulate(const FlagMap& flags, std::ostringstream* os,
+                   bool* degraded) {
   SimOptions sim_options;
   auto queries = flags.GetInt("queries", 100'000);
   if (!queries.ok()) return queries.status();
@@ -353,12 +418,14 @@ Status CmdSimulate(const FlagMap& flags, std::ostringstream* os) {
     if (!threads.ok()) return threads.status();
     options.optimal.num_threads = *threads;
     BCAST_RETURN_IF_ERROR(LoadSearchTuning(flags, &options.optimal));
+    BCAST_RETURN_IF_ERROR(LoadPlanBudget(flags, &options));
     options.replication.root_copies = *copies;
     options.replication.replicate_levels = *levels;
     auto plan = PlanBroadcast(tree, options);
     if (!plan.ok()) return plan.status();
     *os << "strategy          : " << PlanStrategyName(plan->strategy_used)
         << "\n";
+    ReportProvenance(*plan, os, degraded);
     if (plan->replicated.has_value()) {
       *os << "replication       : " << *copies << " copies of the top "
           << *levels << " index level(s), cycle "
@@ -521,10 +588,14 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     registry->SetMeta("args", joined);
   }
 
+  // Set when a budgeted plan was served degraded (anytime incumbent or
+  // heuristic fallback): the command still succeeds, but exits 3 so scripts
+  // can tell a degraded serve from the exact optimum.
+  bool degraded = false;
   if (args[0] == "plan") {
-    status = CmdPlan(*flags, &os);
+    status = CmdPlan(*flags, &os, &degraded);
   } else if (args[0] == "simulate") {
-    status = CmdSimulate(*flags, &os);
+    status = CmdSimulate(*flags, &os, &degraded);
   } else if (args[0] == "eval") {
     status = CmdEval(*flags, &os);
   } else if (args[0] == "verify") {
@@ -534,7 +605,7 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
   } else if (args[0] == "stats") {
     // `stats` is `plan` with the registry always on and a human-readable
     // metrics dump appended — the quickest way to see the counters.
-    status = CmdPlan(*flags, &os);
+    status = CmdPlan(*flags, &os, &degraded);
     if (status.ok()) os << obs::FormatMetricsHuman(registry->Snapshot());
   } else {
     os << "unknown command '" << args[0] << "'\n" << kUsage;
@@ -560,7 +631,7 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     return 1;
   }
   *out = os.str();
-  return 0;
+  return degraded ? 3 : 0;
 }
 
 }  // namespace bcast

@@ -28,7 +28,10 @@ namespace bcast {
 
 /// Executes one CLI invocation. `args` excludes the program name. Appends
 /// human-readable output to *out (both normal output and error messages).
-/// Returns the process exit code (0 on success).
+/// Returns the process exit code: 0 success, 1 command error, 2 usage error,
+/// 3 success but the planner degraded (a --plan-budget-expansions /
+/// --plan-deadline-ms budget fired and an anytime or heuristic plan was
+/// served in place of the exact optimum).
 int RunCli(const std::vector<std::string>& args, std::string* out);
 
 }  // namespace bcast

@@ -239,7 +239,10 @@ _CLOCK_TOKENS = (
     (r"#\s*include\s*<sys/time\.h>", "<sys/time.h> include — use obs/clock.h"),
     (r"\btime\s*\(", "time() — wall clock reads break replayability; use "
      "obs::MonotonicNanos"),
-    (r"\bclock\s*\(", "clock() — use obs::MonotonicNanos"),
+    # The lookbehind exempts member access: `budget.clock()` / `opts->clock()`
+    # reach an injectable obs::Clock (deadline-aware planning), not libc
+    # clock().
+    (r"(?<![\w.>])clock\s*\(", "clock() — use obs::MonotonicNanos"),
     (r"\bgettimeofday\b", "gettimeofday — use obs::MonotonicNanos"),
     (r"\bclock_gettime\b", "clock_gettime — use obs::MonotonicNanos"),
 )

@@ -46,8 +46,15 @@ def load_counts(path):
     counts = {}
     for instance in report.get("instances", []):
         try:
+            name = instance["name"]
             for field in GATED_FIELDS:
-                counts[(instance["name"], field)] = int(instance[field])
+                # Forward compatibility: an older report simply lacks a newer
+                # gated field (and may carry extra fields this version never
+                # reads) — compare only what both sides can have. A field
+                # that is *present* but unparsable is still a hard error.
+                if field not in instance:
+                    continue
+                counts[(name, field)] = int(instance[field])
         except (KeyError, TypeError, ValueError) as error:
             print(f"check_search_regression: malformed instance record in "
                   f"{path}: {error}", file=sys.stderr)
