@@ -201,6 +201,10 @@ bool WriteJson(const std::string& path,
   json.BeginObject();
   json.Key("bench");
   json.String("parallel_search");
+  // The sequential-cutoff default the grid was measured under — below this
+  // many unplaced elements the engine runs inline instead of spawning tasks.
+  json.Key("min_parallel_subtree");
+  json.UInt(bcast::ParallelSearchOptions{}.min_parallel_subtree);
   json.Key("instances");
   json.BeginArray();
   for (const InstanceReport& report : reports) {

@@ -1,6 +1,7 @@
 #include "alloc/topo_parallel.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.h"
 #include "verify/verifier.h"
@@ -75,6 +76,11 @@ double TopoBnbProblem::Estimate(const BnbState& state) const {
 
 bool TopoBnbProblem::SubsetLess(uint64_t a, uint64_t b) const {
   return search_.SubsetLess(a, b);
+}
+
+uint64_t TopoBnbProblem::SubtreeSizeHint(const BnbState& state) const {
+  return static_cast<uint64_t>(std::popcount(search_.full_mask()) -
+                               std::popcount(state.mask));
 }
 
 Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,

@@ -40,6 +40,9 @@ class TopoBnbProblem : public BnbProblem {
   BnbState Child(const BnbState& state, uint64_t subset) const override;
   double Estimate(const BnbState& state) const override;
   bool SubsetLess(uint64_t a, uint64_t b) const override;
+  /// Unplaced-node count — the engine's sequential-cutoff signal
+  /// (ParallelSearchOptions::min_parallel_subtree).
+  uint64_t SubtreeSizeHint(const BnbState& state) const override;
 
   uint64_t nodes_generated() const {
     return nodes_generated_.load(std::memory_order_relaxed);

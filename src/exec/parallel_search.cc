@@ -338,7 +338,11 @@ class Engine {
         bound_pruned_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      if (state.depth < options_.spawn_depth) {
+      // Sequential cutoff: subtrees the problem reports as small run inline
+      // regardless of depth — a stealable task would cost more than the
+      // subtree itself (result unchanged; the engine is schedule-invariant).
+      if (state.depth < options_.spawn_depth &&
+          problem_.SubtreeSizeHint(state) >= options_.min_parallel_subtree) {
         // Shallow: every child is its own stealable task. The prefix copy is
         // tiny here (length < spawn_depth).
         std::vector<uint64_t> child_prefix = *prefix;
@@ -495,9 +499,14 @@ Result<ParallelSearchResult> RunParallelSearch(
   if (!(options.initial_bound >= 0.0)) {  // also rejects NaN
     return InvalidArgumentError("initial_bound must be >= 0 (+inf = unseeded)");
   }
-  const int threads = options.num_threads == 0
-                          ? ThreadPool::HardwareConcurrency()
-                          : options.num_threads;
+  int threads = options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
+                                         : options.num_threads;
+  // Whole-search sequential cutoff: when even the root subtree is below the
+  // spawn threshold no task would ever be spawned, so skip the pool entirely.
+  if (threads > 1 &&
+      problem.SubtreeSizeHint(problem.Root()) < options.min_parallel_subtree) {
+    threads = 1;
+  }
   Engine engine(problem, options, threads);
   obs::ScopedSpan span("parallel_search.run");
   obs::ScopedTimer timer(obs::GetHistogram("search.parallel.run_ns"));

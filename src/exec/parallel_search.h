@@ -93,6 +93,16 @@ class BnbProblem {
 
   /// Canonical strict total order on sibling subsets.
   virtual bool SubsetLess(uint64_t a, uint64_t b) const = 0;
+
+  /// Cheap upper-level size signal for the subtree rooted at `state`, used
+  /// only to gate task spawning (ParallelSearchOptions::min_parallel_subtree)
+  /// — never for pruning, so any monotone proxy works. Conventionally the
+  /// number of elements still unplaced; the default (max) means "unknown,
+  /// assume big" and keeps spawning unrestricted.
+  virtual uint64_t SubtreeSizeHint(const BnbState& state) const {
+    (void)state;
+    return std::numeric_limits<uint64_t>::max();
+  }
 };
 
 struct ParallelSearchOptions {
@@ -104,6 +114,16 @@ struct ParallelSearchOptions {
   /// subtrees run inline. Raising it exposes more parallelism and more
   /// scheduling overhead.
   int spawn_depth = 4;
+  /// Sequential cutoff: a state whose BnbProblem::SubtreeSizeHint falls
+  /// below this never spawns tasks — its subtree runs inline even above
+  /// spawn_depth — and a whole *search* whose root hint falls below it runs
+  /// single-threaded, skipping pool spin-up entirely. The result is
+  /// byte-identical either way (the engine is schedule-invariant); only the
+  /// task count and thread usage change. Default measured on the Table-1
+  /// grid (bench_parallel_search): below ~12 unplaced elements a subtree is
+  /// microseconds of work and a stealable task costs more than it buys.
+  /// 0 disables the cutoff.
+  uint64_t min_parallel_subtree = 12;
   /// Transposition-cache shards (rounded up to a power of two);
   /// 0 disables the cache.
   int cache_shards = 32;

@@ -1,0 +1,81 @@
+// Replayed per-client random streams for the population simulator.
+//
+// Every simulated client owns an independent fault stream — the
+// RngStream::kFault substream of its per-client generator — but a live Rng is
+// a full std::mt19937_64 (~2.5 KB of state), which at a million concurrent
+// clients would dwarf the actual simulation state. A ReplayRng stores only
+// the substream *seed* and the number of draws consumed so far, plus a small
+// block cache: when the cache runs dry it reconstructs the engine from the
+// seed, discards the consumed prefix and draws the next block. The draw
+// sequence is bit-identical to Rng's (same engine, same [0,1) mapping), which
+// is what the differential test against sim/client_sim.h pins.
+//
+// The replay cost is quadratic in a client's total draw count with a 1/kBlock
+// constant; clients draw tens of fault values (Bernoulli loss) to a few
+// hundred (Gilbert–Elliott chains advanced per elapsed slot), so the refills
+// amortize to a handful of engine reconstructions per client. Clients on a
+// lossless medium never construct an engine at all.
+
+#ifndef BCAST_POPSIM_REPLAY_RNG_H_
+#define BCAST_POPSIM_REPLAY_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace bcast {
+
+class ReplayRng {
+ public:
+  /// Number of raw draws cached per engine reconstruction.
+  static constexpr uint32_t kBlock = 16;
+
+  ReplayRng() = default;
+
+  /// Re-seats this stream at the start of the stream Rng(seed) generates.
+  void Reset(uint64_t seed) {
+    seed_ = seed;
+    consumed_ = 0;
+    cursor_ = 0;
+    filled_ = 0;
+  }
+
+  /// Raw 64 uniform bits: draw number draw_count() of Rng(seed)'s engine.
+  // bcast: hot
+  uint64_t NextU64() {
+    if (cursor_ == filled_) Refill();
+    return buffer_[cursor_++];
+  }
+
+  /// Uniform double in [0, 1); same 53-bit mapping as Rng::UniformDouble.
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p); same comparison as Rng::Bernoulli.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Logical draws consumed (replay refills are not draws).
+  uint64_t draw_count() const {
+    return consumed_ - (filled_ - cursor_);
+  }
+
+ private:
+  void Refill() {
+    std::mt19937_64 engine(seed_);
+    engine.discard(consumed_);
+    for (uint32_t i = 0; i < kBlock; ++i) buffer_[i] = engine();
+    consumed_ += kBlock;
+    cursor_ = 0;
+    filled_ = kBlock;
+  }
+
+  uint64_t seed_ = 0;
+  uint64_t consumed_ = 0;  // draws the cached block ends at
+  uint32_t cursor_ = 0;    // next unread cache index
+  uint32_t filled_ = 0;    // valid cache entries
+  uint64_t buffer_[kBlock];
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_POPSIM_REPLAY_RNG_H_

@@ -90,7 +90,15 @@ struct AdaptiveServerOptions {
 struct CycleStats {
   int cycle = 0;
   /// Mean data wait realized by this cycle's *delivered* queries on the
-  /// active schedule; NaN when the cycle delivered nothing.
+  /// active schedule. A cycle in which every query missed its retry budget
+  /// delivered nothing and has no realized wait to report: this field is
+  /// then NaN — deliberately not 0.0 (which would read as "instant
+  /// delivery" exactly when the downlink was at its worst) and not +inf
+  /// (which would poison any downstream average). NaN cycles are excluded
+  /// from AdaptiveServerReport::mean_realized; delivery_success_rate (0.0
+  /// for such a cycle) is the signal that carries the outage instead.
+  /// Consumers reducing over cycles must skip NaN entries (std::isnan),
+  /// mirroring what RunAdaptiveServer itself does.
   double realized_data_wait = 0.0;
   /// Expected data wait of an oracle plan built from the true weights.
   double oracle_data_wait = 0.0;
@@ -106,8 +114,13 @@ struct CycleStats {
 
 struct AdaptiveServerReport {
   std::vector<CycleStats> cycles;
-  /// Mean realized data wait over cycles that delivered at least one query;
-  /// NaN when no cycle delivered anything.
+  /// Mean realized data wait over cycles that delivered at least one query.
+  /// Undelivered-only cycles (CycleStats::realized_data_wait == NaN) are
+  /// excluded from both the numerator and the denominator — they carry no
+  /// wait observation, and averaging in any placeholder would bias the
+  /// metric in the direction of the placeholder. NaN when *no* cycle
+  /// delivered anything (0/0: the mean is undefined, and NaN makes that
+  /// unmissable where a silent 0.0 would look like a perfect run).
   double mean_realized = 0.0;
   double mean_oracle = 0.0;
   /// Mean per-cycle delivery success (1.0 on a lossless downlink).

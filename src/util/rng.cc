@@ -6,21 +6,27 @@
 
 namespace bcast {
 
-namespace {
-
-// SplitMix64 finalizer: a full-avalanche 64-bit mix, the standard way to
-// derive well-separated seeds from correlated inputs.
-uint64_t Mix64(uint64_t x) {
+uint64_t MixSeed(uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
 }
 
-}  // namespace
-
 Rng Rng::Substream(RngStream stream) const {
-  return Rng(Mix64(seed_ ^ Mix64(static_cast<uint64_t>(stream))));
+  return Rng(SubstreamSeed(stream));
+}
+
+Rng Rng::Substream(RngStream stream, uint64_t key) const {
+  return Rng(SubstreamSeed(stream, key));
+}
+
+uint64_t Rng::SubstreamSeed(RngStream stream) const {
+  return MixSeed(seed_ ^ MixSeed(static_cast<uint64_t>(stream)));
+}
+
+uint64_t Rng::SubstreamSeed(RngStream stream, uint64_t key) const {
+  return MixSeed(SubstreamSeed(stream) ^ MixSeed(key));
 }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {

@@ -24,7 +24,15 @@ enum class RngStream : uint64_t {
   kFault = 0x4661756c74ull,      // fault-injection draws (loss, corruption)
   kTree = 0x54726565ull,         // random tree/input generation
   kTaskFault = 0x5461736b46ull,  // planner-side task fault injection
+  kClient = 0x436c69656e74ull,   // per-client population-sim streams (keyed)
 };
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix. This is the single
+/// derivation primitive behind every substream seed (named and keyed), so
+/// code that must reproduce a substream without holding an engine — e.g. the
+/// population simulator replaying a client's fault stream from (seed, draw
+/// count) — computes exactly what Rng::Substream would construct from.
+uint64_t MixSeed(uint64_t x);
 
 /// Seedable PRNG with portable distribution helpers.
 class Rng {
@@ -43,11 +51,29 @@ class Rng {
   /// its metrics snapshot: seed + draw counts pin the consumed prefix.
   uint64_t draw_count() const { return draws_; }
 
+  /// Construction seed. Together with draw_count() this pins the exact
+  /// random prefix this generator has consumed.
+  uint64_t seed() const { return seed_; }
+
   /// Derives the named substream of this generator. The derivation depends
   /// only on the construction seed and the stream name — never on how many
   /// draws have been made — so substreams are mutually independent and stable
   /// no matter when they are forked.
   Rng Substream(RngStream stream) const;
+
+  /// Keyed substream: one independent stream per (stream, key) pair — the
+  /// population simulator derives client c's generator as
+  /// Substream(RngStream::kClient, c). Like the named form, the derivation
+  /// never depends on the draw position.
+  Rng Substream(RngStream stream, uint64_t key) const;
+
+  /// The seed Substream(stream) would construct its engine from. Lets a
+  /// caller record or re-derive a substream without paying for an engine
+  /// initialization.
+  uint64_t SubstreamSeed(RngStream stream) const;
+
+  /// The seed of the keyed substream Substream(stream, key).
+  uint64_t SubstreamSeed(RngStream stream, uint64_t key) const;
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   int64_t UniformInt(int64_t lo, int64_t hi);

@@ -225,6 +225,39 @@ TEST(TopoParallelTest, MatchesSingleThreadedSearchByteForByte) {
   }
 }
 
+TEST(TopoParallelTest, SequentialCutoffForcesSingleThreadOnSmallSearches) {
+  auto tree = ParseTree(kPaperTree);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  TopoTreeSearch::Options options;
+  options.num_channels = 2;
+  options.prune_candidates = true;
+  options.prune_local_swap = true;
+  auto search = TopoTreeSearch::Create(*tree, options);
+  ASSERT_TRUE(search.ok()) << search.status().ToString();
+  TopoBnbProblem problem(*search);
+  // Paper tree: 9 nodes, 8 unplaced below the root — under the default
+  // cutoff, so an 8-thread request must fall back to a single thread.
+  EXPECT_EQ(problem.SubtreeSizeHint(problem.Root()), 8u);
+  ParallelSearchOptions gated_options;
+  gated_options.num_threads = 8;
+  ASSERT_LT(problem.SubtreeSizeHint(problem.Root()),
+            gated_options.min_parallel_subtree);
+  auto gated = RunParallelSearch(problem, gated_options);
+  ASSERT_TRUE(gated.ok()) << gated.status().ToString();
+  EXPECT_EQ(gated->stats.threads_used, 1);
+
+  // Disabling the cutoff restores the requested pool — and the answer is
+  // byte-identical either way (the engine is schedule-invariant).
+  ParallelSearchOptions ungated_options;
+  ungated_options.num_threads = 8;
+  ungated_options.min_parallel_subtree = 0;
+  auto ungated = RunParallelSearch(problem, ungated_options);
+  ASSERT_TRUE(ungated.ok()) << ungated.status().ToString();
+  EXPECT_EQ(ungated->stats.threads_used, 8);
+  EXPECT_EQ(gated->best_path, ungated->best_path);
+  EXPECT_EQ(gated->best_v, ungated->best_v);
+}
+
 TEST(OptimalOptionsTest, NumThreadsDispatchesToTheSameAnswer) {
   auto tree = ParseTree(kPaperTree);
   ASSERT_TRUE(tree.ok()) << tree.status().ToString();

@@ -230,6 +230,47 @@ TEST(AdaptiveServerTest, UndeliveredCyclesAreExcludedFromMeanRealized) {
   EXPECT_TRUE(std::isnan(report->mean_realized));
 }
 
+TEST(AdaptiveServerTest, MeanRealizedAveragesOnlyDeliveredCycles) {
+  // Patchy downlink: few queries, 90% loss, no retries — some cycles deliver
+  // a query or two, others deliver nothing. mean_realized must be the mean
+  // over the delivered cycles alone: an undelivered-only (NaN) cycle appears
+  // in neither the numerator nor the denominator, so the reported mean stays
+  // finite and equals the hand-computed NaN-skipping average.
+  std::vector<double> weights = ZipfWeights(20, 1.0);
+  AdaptiveServerOptions patchy = SmallOptions();
+  patchy.num_cycles = 24;
+  patchy.queries_per_cycle = 3;
+  patchy.max_delivery_attempts = 1;
+  ChannelLossSpec spec;
+  spec.kind = LossModelKind::kBernoulli;
+  spec.loss_prob = 0.9;
+  auto model = FaultModel::CreateUniform(2, spec);
+  ASSERT_TRUE(model.ok());
+  patchy.faults = *model;
+
+  Rng rng(11);
+  auto report = RunAdaptiveServer(weights, nullptr, &rng, patchy);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  double sum = 0.0;
+  int delivered_cycles = 0;
+  int undelivered_cycles = 0;
+  for (const CycleStats& stats : report->cycles) {
+    if (std::isnan(stats.realized_data_wait)) {
+      ++undelivered_cycles;
+      EXPECT_EQ(stats.delivery_success_rate, 0.0);
+    } else {
+      sum += stats.realized_data_wait;
+      ++delivered_cycles;
+    }
+  }
+  // Premise of the pin: this seed yields both cycle kinds.
+  ASSERT_GT(delivered_cycles, 0);
+  ASSERT_GT(undelivered_cycles, 0);
+  EXPECT_DOUBLE_EQ(report->mean_realized, sum / delivered_cycles);
+  EXPECT_TRUE(std::isfinite(report->mean_realized));
+}
+
 TEST(AdaptiveServerTest, RejectsBadOptions) {
   Rng rng(4);
   EXPECT_FALSE(RunAdaptiveServer({}, nullptr, &rng, SmallOptions()).ok());

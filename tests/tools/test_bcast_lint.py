@@ -194,6 +194,76 @@ class RngSubstreamsRuleTest(LintTreeTestCase):
         self.assertEqual(self.lint(rules=("rng-substreams",)), [])
 
 
+class PopsimRngRuleTest(LintTreeTestCase):
+    """src/popsim/ extension: client-id-keyed substream derivation only, and
+    no shared-stream draws inside // bcast: hot per-slot loops."""
+
+    def test_flags_unkeyed_substream_on_non_client_receiver(self):
+        self.write("src/popsim/x.cc",
+                   "void f(const Rng& base) {\n"
+                   "  Rng shared = base.Substream(RngStream::kFault);\n"
+                   "  uint64_t seed = base.SubstreamSeed(RngStream::kDoze);\n"
+                   "}\n")
+        findings = self.lint(rules=("rng-substreams",))
+        self.assertEqual(len(findings), 2)
+        self.assertEqual([f.line for f in findings], [2, 3])
+        self.assertIn("unkeyed Substream", findings[0].message)
+        self.assertIn("client-id-keyed", findings[0].message)
+
+    def test_keyed_and_client_derived_substreams_pass(self):
+        self.write("src/popsim/x.cc",
+                   "void f(const Rng& base, uint64_t id) {\n"
+                   "  Rng client_rng = base.Substream(RngStream::kClient, id);\n"
+                   "  uint64_t s = client_rng.SubstreamSeed(RngStream::kFault);\n"
+                   "}\n")
+        self.assertEqual(self.lint(rules=("rng-substreams",)), [])
+
+    def test_flags_shared_stream_draw_in_hot_loop(self):
+        self.write("src/popsim/x.cc",
+                   "// bcast: hot\n"
+                   "void Step(ReplayRng& pool_rng) {\n"
+                   "  double u = pool_rng.UniformDouble();\n"
+                   "}\n")
+        findings = self.lint(rules=("rng-substreams",))
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].line, 3)
+        self.assertIn("shared-stream draw", findings[0].message)
+
+    def test_client_indexed_and_client_named_draws_pass_in_hot_loop(self):
+        self.write("src/popsim/x.cc",
+                   "// bcast: hot\n"
+                   "void Step(Shard* shard, uint32_t idx,\n"
+                   "          ReplayRng& client_stream) {\n"
+                   "  bool a = shard->client_stream[idx].Bernoulli(0.5);\n"
+                   "  bool b = client_stream.Bernoulli(0.5);\n"
+                   "}\n")
+        self.assertEqual(self.lint(rules=("rng-substreams",)), [])
+
+    def test_draw_outside_hot_region_is_unconstrained(self):
+        self.write("src/popsim/x.cc",
+                   "void Init(ReplayRng& scratch) {\n"
+                   "  (void)scratch.NextU64();\n"
+                   "}\n")
+        self.assertEqual(self.lint(rules=("rng-substreams",)), [])
+
+    def test_rule_is_scoped_to_popsim(self):
+        # The same unkeyed derivation is legal elsewhere in src/ (the base
+        # rule only requires *some* substream naming).
+        self.write("src/sim/x.cc",
+                   "void f(const Rng& base) {\n"
+                   "  Rng shared = base.Substream(RngStream::kFault);\n"
+                   "}\n")
+        self.assertEqual(self.lint(rules=("rng-substreams",)), [])
+
+    def test_suppression(self):
+        self.write("src/popsim/x.cc",
+                   "void f(const Rng& base) {\n"
+                   "  // bcast-lint: allow(rng-substreams)\n"
+                   "  Rng shared = base.Substream(RngStream::kFault);\n"
+                   "}\n")
+        self.assertEqual(self.lint(rules=("rng-substreams",)), [])
+
+
 class HotPathAllocRuleTest(LintTreeTestCase):
     def test_flags_allocation_in_hot_function(self):
         self.write("src/alloc/x.cc",

@@ -7,9 +7,14 @@
 #include <optional>
 #include <sstream>
 
+#include <chrono>
+#include <cstdio>
+
 #include "core/bcast.h"
+#include "exec/thread_pool.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "popsim/popsim.h"
 
 namespace bcast {
 
@@ -36,6 +41,17 @@ constexpr char kUsage[] =
     "                [--loss-rate p] [--corrupt-fraction f]\n"
     "                [--ge-good-to-bad p] [--ge-bad-to-good p]\n"
     "                [--ge-loss-good p] [--ge-loss-bad p]\n"
+    "                [--retries n] [--restarts n] [--scan-passes n]\n"
+    "  bcastctl popsim --tree <s-expr>|--tree-file <path>|--program <path>\n"
+    "                [--channels k] [--strategy ...] [--threads N] [--shards S]\n"
+    "                [--replicate-copies R] [--replicate-levels L]\n"
+    "                [--clients N] [--seed S]\n"
+    "                [--interest tree|zipf|uniform] [--zipf-theta t]\n"
+    "                [--horizon-cycles H] [--doze-fraction f]\n"
+    "                [--doze-max-cycles C] [--degraded-fraction f]\n"
+    "                [--loss-model ...] [--loss-rate p] [--corrupt-fraction f]\n"
+    "                [--ge-* p] [--degraded-loss-model ... and other\n"
+    "                 --degraded-* loss flags for the degraded subset]\n"
     "                [--retries n] [--restarts n] [--scan-passes n]\n"
     "  bcastctl eval --program <path> [--simulate N]\n"
     "  bcastctl verify --program <path>\n"
@@ -331,18 +347,20 @@ Result<LossModelKind> ParseLossModel(const std::string& name) {
   return InvalidArgumentError("unknown loss model '" + name + "'");
 }
 
-// Builds the (uniform) per-channel fault model from --loss-* flags.
-Result<FaultModel> LoadFaultModel(const FlagMap& flags, int num_channels) {
-  auto kind = ParseLossModel(flags.Get("loss-model").value_or("none"));
+// Builds the (uniform) per-channel fault model from --loss-* flags. `prefix`
+// selects a second, independently-flagged model (popsim's --degraded-* set).
+Result<FaultModel> LoadFaultModel(const FlagMap& flags, int num_channels,
+                                  const std::string& prefix = "") {
+  auto kind = ParseLossModel(flags.Get(prefix + "loss-model").value_or("none"));
   if (!kind.ok()) return kind.status();
   ChannelLossSpec spec;
   spec.kind = *kind;
-  auto loss_rate = flags.GetDouble("loss-rate", 0.1);
-  auto corrupt = flags.GetDouble("corrupt-fraction", 0.0);
-  auto good_to_bad = flags.GetDouble("ge-good-to-bad", 0.05);
-  auto bad_to_good = flags.GetDouble("ge-bad-to-good", 0.5);
-  auto loss_good = flags.GetDouble("ge-loss-good", 0.0);
-  auto loss_bad = flags.GetDouble("ge-loss-bad", 1.0);
+  auto loss_rate = flags.GetDouble(prefix + "loss-rate", 0.1);
+  auto corrupt = flags.GetDouble(prefix + "corrupt-fraction", 0.0);
+  auto good_to_bad = flags.GetDouble(prefix + "ge-good-to-bad", 0.05);
+  auto bad_to_good = flags.GetDouble(prefix + "ge-bad-to-good", 0.5);
+  auto loss_good = flags.GetDouble(prefix + "ge-loss-good", 0.0);
+  auto loss_bad = flags.GetDouble(prefix + "ge-loss-bad", 1.0);
   if (!loss_rate.ok()) return loss_rate.status();
   if (!corrupt.ok()) return corrupt.status();
   if (!good_to_bad.ok()) return good_to_bad.status();
@@ -482,6 +500,205 @@ Status CmdSimulate(const FlagMap& flags, std::ostringstream* os,
   return Status::Ok();
 }
 
+// `bcastctl popsim`: run a whole client population (src/popsim/) against a
+// planned or saved program. Shares the plan/program loading, loss-model and
+// recovery flags with `simulate`; adds the population shape knobs and a
+// second --degraded-* loss-flag set for the degraded client fraction.
+Status CmdPopSim(const FlagMap& flags, std::ostringstream* os,
+                 bool* degraded) {
+  PopSimOptions options;
+  auto clients = flags.GetInt("clients", 100'000);
+  if (!clients.ok()) return clients.status();
+  if (*clients < 1) return InvalidArgumentError("--clients must be >= 1");
+  options.population.num_clients = static_cast<uint64_t>(*clients);
+  auto seed = flags.GetInt("seed", 0xC11);
+  if (!seed.ok()) return seed.status();
+  options.seed = static_cast<uint64_t>(*seed);
+
+  const std::string interest = flags.Get("interest").value_or("tree");
+  if (interest == "tree") {
+    options.population.interest = PopulationSpec::Interest::kTreeWeights;
+  } else if (interest == "zipf") {
+    options.population.interest = PopulationSpec::Interest::kZipf;
+  } else if (interest == "uniform") {
+    options.population.interest = PopulationSpec::Interest::kUniform;
+  } else {
+    return InvalidArgumentError("unknown --interest '" + interest +
+                                "' (want tree, zipf or uniform)");
+  }
+  auto zipf_theta =
+      flags.GetDouble("zipf-theta", options.population.zipf_theta);
+  auto horizon = flags.GetInt("horizon-cycles", 1);
+  auto doze = flags.GetDouble("doze-fraction", 0.0);
+  auto doze_max = flags.GetInt("doze-max-cycles", 0);
+  auto degraded_fraction = flags.GetDouble("degraded-fraction", 0.0);
+  if (!zipf_theta.ok()) return zipf_theta.status();
+  if (!horizon.ok()) return horizon.status();
+  if (!doze.ok()) return doze.status();
+  if (!doze_max.ok()) return doze_max.status();
+  if (!degraded_fraction.ok()) return degraded_fraction.status();
+  options.population.zipf_theta = *zipf_theta;
+  options.population.arrival_horizon_cycles = *horizon;
+  options.population.doze_fraction = *doze;
+  options.population.max_doze_cycles = *doze_max;
+  options.population.degraded_fraction = *degraded_fraction;
+
+  auto retries =
+      flags.GetInt("retries", options.recovery.max_retries_per_hop);
+  auto restarts =
+      flags.GetInt("restarts", options.recovery.max_cycle_restarts);
+  auto scans = flags.GetInt("scan-passes", options.recovery.max_scan_passes);
+  if (!retries.ok()) return retries.status();
+  if (!restarts.ok()) return restarts.status();
+  if (!scans.ok()) return scans.status();
+  if (*retries < 0) return InvalidArgumentError("--retries must be >= 0");
+  if (*restarts < 0) return InvalidArgumentError("--restarts must be >= 0");
+  if (*scans < 0) return InvalidArgumentError("--scan-passes must be >= 0");
+  options.recovery.max_retries_per_hop = *retries;
+  options.recovery.max_cycle_restarts = *restarts;
+  options.recovery.max_scan_passes = *scans;
+
+  // Engine shape. --threads 0 = one per hardware thread; results never
+  // depend on either knob (the invariance the popsim tests pin).
+  auto threads = flags.GetInt("threads", 0);
+  auto shards = flags.GetInt("shards", 0);
+  if (!threads.ok()) return threads.status();
+  if (!shards.ok()) return shards.status();
+  if (*threads < 0) return InvalidArgumentError("--threads must be >= 0");
+  if (*shards < 0) return InvalidArgumentError("--shards must be >= 0");
+  options.num_threads = *threads;
+  options.num_shards = *shards;
+
+  auto copies = flags.GetInt("replicate-copies", 1);
+  auto levels = flags.GetInt("replicate-levels", 1);
+  if (!copies.ok()) return copies.status();
+  if (!levels.ok()) return levels.status();
+
+  // The program under test: a saved file, or a plan built on the fly.
+  std::optional<Result<PopulationSimulator>> sim;
+  IndexTree tree;
+  int num_channels = 0;
+  if (auto path = flags.Get("program"); path.has_value()) {
+    if (*copies > 1) {
+      return InvalidArgumentError(
+          "--replicate-copies needs a --tree plan (program files carry a "
+          "fixed grid)");
+    }
+    auto text = ReadFile(*path);
+    if (!text.ok()) return text.status();
+    auto program = ParseProgram(*text);
+    if (!program.ok()) return program.status();
+    tree = std::move(program->tree);
+    num_channels = program->schedule.num_channels();
+    *os << "program           : " << *path << "\n";
+    sim.emplace(PopulationSimulator::Create(tree, program->schedule));
+  } else {
+    auto loaded = LoadTree(flags);
+    if (!loaded.ok()) return loaded.status();
+    tree = std::move(loaded).value();
+    PlannerOptions plan_options;
+    auto channels = flags.GetInt("channels", 1);
+    if (!channels.ok()) return channels.status();
+    plan_options.num_channels = num_channels = *channels;
+    auto strategy = ParseStrategy(flags.Get("strategy").value_or("auto"));
+    if (!strategy.ok()) return strategy.status();
+    plan_options.strategy = *strategy;
+    plan_options.optimal.num_threads =
+        *threads > 0 ? *threads : ThreadPool::HardwareConcurrency();
+    BCAST_RETURN_IF_ERROR(LoadSearchTuning(flags, &plan_options.optimal));
+    BCAST_RETURN_IF_ERROR(LoadPlanBudget(flags, &plan_options));
+    plan_options.replication.root_copies = *copies;
+    plan_options.replication.replicate_levels = *levels;
+    auto plan = PlanBroadcast(tree, plan_options);
+    if (!plan.ok()) return plan.status();
+    *os << "strategy          : " << PlanStrategyName(plan->strategy_used)
+        << "\n";
+    ReportProvenance(*plan, os, degraded);
+    if (plan->replicated.has_value()) {
+      *os << "replication       : " << *copies << " copies of the top "
+          << *levels << " index level(s), cycle "
+          << plan->replicated->cycle_length << " slots\n";
+      sim.emplace(PopulationSimulator::Create(tree, *plan->replicated));
+    } else {
+      sim.emplace(PopulationSimulator::Create(tree, plan->schedule));
+    }
+  }
+  if (!sim->ok()) return sim->status();
+
+  auto faults = LoadFaultModel(flags, num_channels);
+  if (!faults.ok()) return faults.status();
+  options.faults = *faults;
+  auto degraded_faults = LoadFaultModel(flags, num_channels, "degraded-");
+  if (!degraded_faults.ok()) return degraded_faults.status();
+  options.degraded_faults = *degraded_faults;
+  const ChannelLossSpec& spec = faults->channel(0);
+  *os << "loss model        : " << LossModelKindName(spec.kind);
+  if (spec.kind != LossModelKind::kNone) {
+    *os << " (stationary loss rate " << 100.0 * spec.StationaryLossRate()
+        << "%, corrupt fraction " << 100.0 * spec.corrupt_fraction << "%)";
+  }
+  *os << "\n";
+  if (options.population.degraded_fraction > 0.0) {
+    const ChannelLossSpec& dspec = degraded_faults->channel(0);
+    *os << "degraded clients  : "
+        << 100.0 * options.population.degraded_fraction << "% on "
+        << LossModelKindName(dspec.kind) << " (stationary loss rate "
+        << 100.0 * dspec.StationaryLossRate() << "%)\n";
+  }
+
+  if (obs::MetricsEnabled()) {
+    obs::SetMeta("seed", std::to_string(*seed));
+    obs::GetGauge("run.seed").Set(*seed);
+    obs::GetCounter("rng.draws.tree").Add(0);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto report = (*sim)->Run(options);
+  if (!report.ok()) return report.status();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  *os << "clients           : " << report->num_clients << " (seed " << *seed
+      << ", interest " << interest << ", horizon " << *horizon
+      << " cycle(s))\n";
+  *os << "engine            : " << report->threads_used << " thread(s), "
+      << report->shards_used << " shard(s), " << report->slots_processed
+      << " slots";
+  if (seconds > 0.0) {
+    *os << ", " << static_cast<uint64_t>(
+                       static_cast<double>(report->num_clients) / seconds)
+        << " clients/s";
+  }
+  *os << "\n";
+  *os << "success rate      : " << 100.0 * report->success_rate << "% ("
+      << report->num_succeeded << " delivered)\n";
+  *os << "mean access time  : " << report->mean_access_time
+      << " buckets (probe " << report->mean_probe_wait << ", data wait "
+      << report->mean_data_wait << ")\n";
+  *os << "access time tail  : p50 " << report->p50_access_time << ", p95 "
+      << report->p95_access_time << ", p99 " << report->p99_access_time
+      << " buckets\n";
+  *os << "data wait tail    : p50 " << report->p50_data_wait << ", p95 "
+      << report->p95_data_wait << ", p99 " << report->p99_data_wait
+      << " buckets\n";
+  *os << "tuning time tail  : p50 " << report->p50_tuning_time << ", p95 "
+      << report->p95_tuning_time << ", p99 " << report->p99_tuning_time
+      << " buckets (mean " << report->mean_tuning_time << ")\n";
+  *os << "faults observed   : " << report->buckets_lost << " lost, "
+      << report->buckets_corrupted << " corrupted\n";
+  *os << "recovery          : " << report->retries << " retries, "
+      << report->cycle_restarts << " cycle restarts, "
+      << report->sequential_scans << " sequential scans\n";
+  *os << "rng draws         : " << report->rng_query_draws << " query, "
+      << report->rng_fault_draws << " fault\n";
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(report->digest));
+  *os << "outcome digest    : " << digest_hex
+      << " (thread- and shard-invariant)\n";
+  return Status::Ok();
+}
+
 Status CmdEval(const FlagMap& flags, std::ostringstream* os) {
   auto path = flags.Get("program");
   if (!path.has_value()) return InvalidArgumentError("--program is required");
@@ -596,6 +813,8 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     status = CmdPlan(*flags, &os, &degraded);
   } else if (args[0] == "simulate") {
     status = CmdSimulate(*flags, &os, &degraded);
+  } else if (args[0] == "popsim") {
+    status = CmdPopSim(*flags, &os, &degraded);
   } else if (args[0] == "eval") {
     status = CmdEval(*flags, &os);
   } else if (args[0] == "verify") {

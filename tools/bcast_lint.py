@@ -17,7 +17,13 @@ into structured, per-line static rules over ``src/``:
                    ``time()``/``clock()`` etc. are banned outside src/obs/.
   rng-substreams   Every ``Rng`` constructed in src/ must be forked with
                    ``Substream(RngStream::k...)`` so logically independent
-                   random processes never perturb each other.
+                   random processes never perturb each other. src/popsim/
+                   additionally requires client-id-keyed derivation: an
+                   unkeyed ``Substream``/``SubstreamSeed`` on a non-client
+                   generator, or a shared-stream draw inside a
+                   ``// bcast: hot`` per-slot loop, would make one client's
+                   draws depend on its neighbors — exactly the coupling the
+                   engine's thread-invariance contract forbids.
   hot-path-alloc   Functions marked ``// bcast: hot`` must stay steady-state
                    allocation-free: no ``new``/``make_unique``/container
                    growth. Statically backs the counting-allocator proof of
@@ -257,6 +263,45 @@ def rule_clock_discipline(path, raw, scrubbed):
 
 _RNG_DECL = re.compile(r"\bRng\s+(\w+)\s*[=({]")
 
+# Single-argument (unkeyed) substream derivation: `recv.Substream(RngStream::kX)`
+# with no key argument. The population engine must key every per-client stream
+# by client id; the only unkeyed derivations allowed there are off a generator
+# that is itself already client-keyed (receiver named *client*).
+_UNKEYED_SUBSTREAM = re.compile(
+    r"(\w+)\s*(?:\.|->)\s*(Substream|SubstreamSeed)\s*\(\s*RngStream::k\w+\s*\)")
+
+# A draw call on a plain (non-indexed) receiver. Indexed receivers like
+# `client_stream[idx].NextU64()` never match — the receiver token before the
+# call is `]` — which is exactly the per-client layout the rule wants.
+_DRAW_CALL = re.compile(
+    r"(\w+)\s*(?:\.|->)\s*(NextU64|NextDouble|UniformDouble|UniformInt|"
+    r"Bernoulli|Poisson|Zipf)\s*\(")
+
+
+def _popsim_findings(path, raw, scrubbed):
+    for match in _UNKEYED_SUBSTREAM.finditer(scrubbed):
+        receiver = match.group(1)
+        if "client" in receiver.lower():
+            continue
+        yield Finding(
+            path, _line_of(scrubbed, match.start()), "rng-substreams",
+            f"unkeyed {match.group(2)}(RngStream::k...) on '{receiver}' in "
+            "src/popsim/ — population-engine streams must derive from the "
+            "client-id-keyed generator (Substream(RngStream::kClient, id), "
+            "or an unkeyed fork of a *client* rng)")
+    for _, begin, end in _hot_regions(raw, scrubbed):
+        for match in _DRAW_CALL.finditer(scrubbed, begin, end):
+            receiver = match.group(1)
+            if "client" in receiver.lower():
+                continue
+            yield Finding(
+                path, _line_of(scrubbed, match.start()), "rng-substreams",
+                f"shared-stream draw '{receiver}.{match.group(2)}()' inside "
+                "a '// bcast: hot' per-slot loop in src/popsim/ — draws "
+                "there must come from a per-client stream (receiver indexed "
+                "by client, or named *client*), or one client's results "
+                "depend on its neighbors and shard/thread invariance breaks")
+
 
 def rule_rng_substreams(path, raw, scrubbed):
     if not _in(path, "src/") or path in ("src/util/rng.h", "src/util/rng.cc"):
@@ -271,6 +316,8 @@ def rule_rng_substreams(path, raw, scrubbed):
             f"Rng '{match.group(1)}' constructed without naming a substream "
             "— fork with Substream(RngStream::k...) so independent random "
             "processes cannot perturb each other")
+    if _in(path, "src/popsim/"):
+        yield from _popsim_findings(path, raw, scrubbed)
 
 
 _ALLOC_TOKENS = (

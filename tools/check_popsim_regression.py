@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Determinism and throughput regression gate for bench_population_sim.
+
+Compares a freshly generated bench_population_sim --json report against the
+committed baseline (BENCH_population_sim.json). Three checks, in order of
+severity:
+
+1. Within-run determinism (hard fail): every thread cell of an instance in
+   the *current* report must carry the same outcome digest. The population
+   engine keys every client's RNG substream by client id, so thread count
+   and shard count must not leak into results — a divergence means a
+   scheduling dependence crept into the hot loop.
+
+2. Cross-run semantics (hard fail): for instances sharing (name, seed,
+   clients) with the baseline, the digest must match the baseline digest.
+   Digests are machine-independent (pure function of the program, the
+   population spec, and the seed), so this catches semantic drift — a
+   changed draw order, an altered recovery ladder — without rerunning a
+   reference simulator. Committing an *intentional* semantic change means
+   regenerating the baseline in the same PR.
+
+3. Throughput (tolerance-gated): per-instance best clients/sec across the
+   thread grid must not drop more than --tolerance (default 0.05 = 5%)
+   below the baseline's best. Wall-clock is noisy on shared runners, hence
+   the headroom and the best-of-grid comparison.
+
+Improvements (faster cells, new instances) never fail; commit them by
+regenerating the baseline (bench_population_sim --json).
+
+Usage:
+  check_popsim_regression.py baseline.json current.json [--tolerance 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as error:
+        print(f"check_popsim_regression: cannot read {path}: {error}",
+              file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as error:
+        print(f"check_popsim_regression: {path} is not valid JSON: {error}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(report, dict) or report.get("bench") != "population_sim":
+        print(f"check_popsim_regression: {path} is not a population_sim "
+              "report", file=sys.stderr)
+        sys.exit(2)
+    instances = {}
+    for instance in report.get("instances", []):
+        try:
+            name = instance["name"]
+            runs = instance["runs"]
+            if not isinstance(runs, list) or not runs:
+                raise ValueError(f"instance {name!r} has no runs")
+            digests = [str(run["digest"]) for run in runs]
+            best_cps = max(float(run["clients_per_sec"]) for run in runs)
+            threads = [int(run["threads"]) for run in runs]
+            key = (name, int(instance["seed"]), int(instance["clients"]))
+            instances[key] = {
+                "digests": digests,
+                "threads": threads,
+                "best_cps": best_cps,
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            print(f"check_popsim_regression: malformed instance record in "
+                  f"{path}: {error}", file=sys.stderr)
+            sys.exit(2)
+    if not instances:
+        print(f"check_popsim_regression: {path} contains no instances",
+              file=sys.stderr)
+        sys.exit(2)
+    return instances
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_population_sim.json")
+    parser.add_argument("current", help="freshly generated report")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed clients/sec drop (default 0.05 = 5%%)")
+    args = parser.parse_args()
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    failures = []
+
+    # 1. Within-run determinism: every thread cell agrees.
+    for (name, seed, clients), record in sorted(current.items()):
+        unique = sorted(set(record["digests"]))
+        cells = ", ".join(
+            f"t={t}:{d}" for t, d in zip(record["threads"], record["digests"]))
+        if len(unique) > 1:
+            failures.append(f"{name}: thread cells disagree ({cells})")
+            print(f"  {name:22s} DETERMINISM VIOLATION  {cells}")
+        else:
+            print(f"  {name:22s} digest {unique[0]}  "
+                  f"({len(record['digests'])} thread cells agree)")
+
+    # 2. Cross-run semantics: digest matches the committed baseline for
+    # identical (name, seed, clients) triples. A current run with a
+    # different client count (e.g. a --clients smoke override) simply has
+    # no baseline counterpart and is skipped here.
+    shared = sorted(set(baseline) & set(current))
+    for key in shared:
+        name, seed, clients = key
+        before = baseline[key]["digests"][0]
+        after = current[key]["digests"][0]
+        if before != after:
+            failures.append(
+                f"{name}: digest drifted {before} -> {after} "
+                f"(seed={seed:#x}, clients={clients})")
+            print(f"  {name:22s} digest {before} -> {after}  <-- DRIFT")
+
+    # 3. Throughput: best-of-grid clients/sec vs baseline, with headroom.
+    for key in shared:
+        name, _, _ = key
+        before = baseline[key]["best_cps"]
+        after = current[key]["best_cps"]
+        drop = (before - after) / before if before > 0 else 0.0
+        marker = ""
+        if drop > args.tolerance:
+            failures.append(
+                f"{name}: clients/sec dropped {before:.0f} -> {after:.0f} "
+                f"({100.0 * drop:.1f}% > {100.0 * args.tolerance:.0f}%)")
+            marker = "  <-- REGRESSION"
+        print(f"  {name:22s} clients/sec {before:10.0f} -> {after:10.0f}"
+              f"  ({100.0 * -drop:+6.2f}%){marker}")
+
+    if not shared:
+        print("check_popsim_regression: no shared instances between the "
+              "reports (determinism still checked)", file=sys.stderr)
+
+    print(f"instances checked : {len(current)} current, {len(shared)} shared "
+          "with baseline")
+    print(f"throughput budget : {100.0 * args.tolerance:.0f}% drop")
+    if failures:
+        for failure in failures:
+            print(f"check_popsim_regression: FAIL — {failure}",
+                  file=sys.stderr)
+        return 1
+    print("check_popsim_regression: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
