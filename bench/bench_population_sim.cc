@@ -22,16 +22,26 @@
 // is the process-wide VmHWM high-water mark, recorded after each cell (it is
 // monotone over the process lifetime — the headline instance runs first so
 // its cells dominate the reading).
+//
+// --telemetry[=path] wires a per-cell metrics registry + JSONL telemetry
+// pipeline into every Run (mirroring `bcastctl popsim --telemetry-out`), so
+// CI can diff a --telemetry run against a plain run with
+// tools/check_obs_overhead.py. The digest cross-check doubles as the
+// telemetry determinism gate: outcomes must be byte-identical with the
+// stream on.
 
 #include <cstdio>
 #include <cstring>
 #include <chrono>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/planner.h"
 #include "fault/fault_model.h"
 #include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/stream.h"
 #include "popsim/popsim.h"
 #include "tree/builders.h"
 #include "workload/weights.h"
@@ -134,6 +144,7 @@ bool RunInstance(const PopulationSimulator& sim, const std::string& name,
                  const PopSimOptions& base_options, uint64_t clients,
                  int channels, const std::string& loss,
                  const std::vector<int>& thread_grid,
+                 const char* telemetry_path,
                  std::vector<InstanceReport>* reports) {
   InstanceReport report;
   report.name = name;
@@ -147,6 +158,30 @@ bool RunInstance(const PopulationSimulator& sim, const std::string& name,
     PopSimOptions options = base_options;
     options.population.num_clients = clients;
     options.num_threads = threads;
+    // --telemetry mode: fresh registry + pipeline per cell so every run
+    // measures the full instrumentation cost from a cold stream. Setup is
+    // outside the timed region; the per-shard ticks inside Run are not.
+    std::optional<bcast::obs::Registry> registry;
+    std::optional<bcast::obs::ScopedObservability> install;
+    std::optional<bcast::obs::JsonlFileSink> sink;
+    std::optional<bcast::obs::TelemetryPipeline> pipeline;
+    if (telemetry_path != nullptr) {
+      registry.emplace();
+      install.emplace(&*registry, nullptr);
+      auto opened = bcast::obs::JsonlFileSink::Open(telemetry_path);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+        return false;
+      }
+      sink.emplace(std::move(opened).value());
+      bcast::obs::TelemetryOptions telemetry;
+      telemetry.registry = &*registry;
+      telemetry.histograms = {"popsim.data_wait_slots", "popsim.tuning_slots"};
+      telemetry.source = "popsim";
+      telemetry.meta = {{"bench", name}};
+      pipeline.emplace(&*sink, std::move(telemetry));
+      options.telemetry = &*pipeline;
+    }
     const auto start = std::chrono::steady_clock::now();
     auto result = sim.Run(options);
     const double seconds =
@@ -156,6 +191,14 @@ bool RunInstance(const PopulationSimulator& sim, const std::string& name,
       std::fprintf(stderr, "%s: %s\n", name.c_str(),
                    result.status().ToString().c_str());
       return false;
+    }
+    if (pipeline.has_value()) {
+      bcast::Status status = pipeline->Finish("ok");
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s: telemetry: %s\n", name.c_str(),
+                     status.ToString().c_str());
+        return false;
+      }
     }
     const PopReport& pop = *result;
     RunCell cell;
@@ -275,6 +318,8 @@ bool WriteJson(const std::string& path,
 int main(int argc, char** argv) {
   bool json = false;
   std::string json_path = "BENCH_population_sim.json";
+  bool telemetry = false;
+  std::string telemetry_path = "BENCH_population_sim_telemetry.jsonl";
   uint64_t headline_clients = 1'000'000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -282,15 +327,22 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json = true;
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry = true;
+    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      telemetry = true;
+      telemetry_path = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       headline_clients = std::strtoull(argv[++i], nullptr, 10);
       if (headline_clients < 1) headline_clients = 1;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_population_sim [--json[=path]] [--clients N]\n");
+                   "usage: bench_population_sim [--json[=path]] "
+                   "[--telemetry[=path]] [--clients N]\n");
       return 2;
     }
   }
+  const char* telemetry_target = telemetry ? telemetry_path.c_str() : nullptr;
 
   const int channels = 3;
   Program program = MakeBenchProgram(channels);
@@ -314,7 +366,8 @@ int main(int argc, char** argv) {
     options.seed = 0xBEACA57;
     options.faults = MustUniform(channels, spec);
     if (!RunInstance(*sim, "zipf_bernoulli_1m", options, headline_clients,
-                     channels, "bernoulli-1%", thread_grid, &reports)) {
+                     channels, "bernoulli-1%", thread_grid, telemetry_target,
+                     &reports)) {
       return 1;
     }
   }
@@ -337,7 +390,8 @@ int main(int argc, char** argv) {
     options.faults = MustUniform(channels, burst);
     options.degraded_faults = MustUniform(channels, degraded);
     if (!RunInstance(*sim, "burst_degraded_100k", options, 100'000, channels,
-                     "gilbert-elliott", thread_grid, &reports)) {
+                     "gilbert-elliott", thread_grid, telemetry_target,
+                     &reports)) {
       return 1;
     }
   }
@@ -352,7 +406,7 @@ int main(int argc, char** argv) {
     options.population.max_doze_cycles = 10;
     options.seed = 0xD02E;
     if (!RunInstance(*sim, "doze_uniform_100k", options, 100'000, channels,
-                     "none", thread_grid, &reports)) {
+                     "none", thread_grid, telemetry_target, &reports)) {
       return 1;
     }
   }

@@ -18,7 +18,7 @@ void JsonWriter::BeginObject() {
 void JsonWriter::EndObject() {
   const bool empty = stack_.empty() ? true : stack_.back().first;
   stack_.pop_back();
-  if (!empty) {
+  if (!empty && layout_ == Layout::kPretty) {
     out_->push_back('\n');
     Indent();
   }
@@ -34,7 +34,7 @@ void JsonWriter::BeginArray() {
 void JsonWriter::EndArray() {
   const bool empty = stack_.empty() ? true : stack_.back().first;
   stack_.pop_back();
-  if (!empty) {
+  if (!empty && layout_ == Layout::kPretty) {
     out_->push_back('\n');
     Indent();
   }
@@ -44,7 +44,7 @@ void JsonWriter::EndArray() {
 void JsonWriter::Key(std::string_view key) {
   BeforeValue();
   Escape(key);
-  out_->append(": ");
+  out_->append(layout_ == Layout::kPretty ? ": " : ":");
   pending_key_ = true;
 }
 
@@ -102,8 +102,10 @@ void JsonWriter::BeforeValue() {
   if (stack_.empty()) return;
   if (!stack_.back().first) out_->push_back(',');
   stack_.back().first = false;
-  out_->push_back('\n');
-  Indent();
+  if (layout_ == Layout::kPretty) {
+    out_->push_back('\n');
+    Indent();
+  }
 }
 
 void JsonWriter::Indent() {

@@ -22,7 +22,13 @@ namespace bcast::obs {
 /// not a crash.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::string* out) : out_(out) {}
+  /// kPretty: 2-space-indented, human-diffable (the snapshot/bench files).
+  /// kCompact: no whitespace at all — one value serializes to one line,
+  /// which is what the telemetry JSONL stream requires.
+  enum class Layout { kPretty, kCompact };
+
+  explicit JsonWriter(std::string* out, Layout layout = Layout::kPretty)
+      : out_(out), layout_(layout) {}
 
   void BeginObject();
   void EndObject();
@@ -47,6 +53,7 @@ class JsonWriter {
   void Escape(std::string_view raw);
 
   std::string* out_;
+  Layout layout_ = Layout::kPretty;
   std::vector<Level> stack_;
   bool pending_key_ = false;
 };

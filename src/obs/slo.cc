@@ -1,0 +1,183 @@
+#include "obs/slo.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace bcast::obs {
+
+namespace {
+
+Result<double> ParseDoubleField(std::string_view text, const char* what) {
+  std::string buffer(text);
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end == buffer.c_str() || *end != '\0' || std::isnan(value)) {
+    return InvalidArgumentError(std::string("SLO spec: bad ") + what + " '" +
+                                buffer + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<SloSpec> ParseSloSpec(std::string_view text) {
+  SloSpec spec;
+  const size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return InvalidArgumentError(
+        "SLO spec: expected NAME:SERIES<=THRESHOLD[@TARGET][/WINDOW], got '" +
+        std::string(text) + "'");
+  }
+  spec.name = std::string(text.substr(0, colon));
+  std::string_view rest = text.substr(colon + 1);
+
+  size_t op_pos = rest.find("<=");
+  if (op_pos != std::string_view::npos) {
+    spec.op = SloSpec::Op::kLessEq;
+  } else {
+    op_pos = rest.find(">=");
+    if (op_pos == std::string_view::npos || op_pos == 0) {
+      return InvalidArgumentError("SLO spec '" + spec.name +
+                                  "': expected '<=' or '>=' after the series");
+    }
+    spec.op = SloSpec::Op::kGreaterEq;
+  }
+  if (op_pos == 0) {
+    return InvalidArgumentError("SLO spec '" + spec.name + "': empty series");
+  }
+  spec.series = std::string(rest.substr(0, op_pos));
+  std::string_view tail = rest.substr(op_pos + 2);
+
+  // THRESHOLD [ '@' TARGET ] [ '/' WINDOW ] — '@' binds before '/'.
+  std::string_view threshold_text = tail;
+  std::string_view target_text;
+  std::string_view window_text;
+  if (const size_t slash = threshold_text.rfind('/');
+      slash != std::string_view::npos) {
+    window_text = threshold_text.substr(slash + 1);
+    threshold_text = threshold_text.substr(0, slash);
+  }
+  if (const size_t at = threshold_text.find('@');
+      at != std::string_view::npos) {
+    target_text = threshold_text.substr(at + 1);
+    threshold_text = threshold_text.substr(0, at);
+  }
+
+  auto threshold = ParseDoubleField(threshold_text, "threshold");
+  if (!threshold.ok()) return threshold.status();
+  spec.threshold = *threshold;
+  if (!target_text.empty()) {
+    auto target = ParseDoubleField(target_text, "target");
+    if (!target.ok()) return target.status();
+    if (*target <= 0.0 || *target > 1.0) {
+      return InvalidArgumentError("SLO spec '" + spec.name +
+                                  "': target must be in (0, 1]");
+    }
+    spec.target = *target;
+  }
+  if (!window_text.empty()) {
+    auto window = ParseDoubleField(window_text, "window");
+    if (!window.ok()) return window.status();
+    if (*window < 1.0 || *window != std::floor(*window)) {
+      return InvalidArgumentError("SLO spec '" + spec.name +
+                                  "': window must be a positive integer");
+    }
+    spec.window = static_cast<size_t>(*window);
+  }
+  return spec;
+}
+
+Result<std::vector<SloSpec>> ParseSloSpecList(std::string_view text) {
+  std::vector<SloSpec> specs;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find(';', begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view part = text.substr(begin, end - begin);
+    if (!part.empty()) {
+      auto spec = ParseSloSpec(part);
+      if (!spec.ok()) return spec.status();
+      specs.push_back(std::move(spec).value());
+    }
+    begin = end + 1;
+  }
+  return specs;
+}
+
+std::string FormatSloSpec(const SloSpec& spec) {
+  std::ostringstream out;
+  out << spec.name << ':' << spec.series
+      << (spec.op == SloSpec::Op::kLessEq ? "<=" : ">=") << spec.threshold
+      << '@' << spec.target << '/' << spec.window;
+  return out.str();
+}
+
+SloEngine::SloEngine(std::vector<SloSpec> specs) : specs_(std::move(specs)) {
+  states_.resize(specs_.size());
+  windows_.resize(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    windows_[i].bad.assign(specs_[i].window, false);
+  }
+}
+
+void SloEngine::Tick(uint64_t index, const SeriesSet& series,
+                     std::vector<SloAlert>* alerts) {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const SloSpec& spec = specs_[i];
+    SloState& state = states_[i];
+    Window& window = windows_[i];
+    const Series* source = series.Find(spec.series);
+    if (source == nullptr || source->empty() ||
+        source->LastIndex() != index) {
+      continue;  // no observation for this tick
+    }
+    const double value = source->Last();
+    if (std::isnan(value)) continue;
+    const bool bad = spec.op == SloSpec::Op::kLessEq ? value > spec.threshold
+                                                     : value < spec.threshold;
+    ++state.ticks;
+    if (bad) ++state.bad_ticks;
+
+    if (window.filled == window.bad.size()) {
+      if (window.bad[window.next]) --window.bad_count;
+    } else {
+      ++window.filled;
+    }
+    window.bad[window.next] = bad;
+    if (bad) ++window.bad_count;
+    window.next = (window.next + 1) % window.bad.size();
+
+    const double allowed = 1.0 - spec.target;  // per-tick violation budget
+    const double bad_fraction = static_cast<double>(window.bad_count) /
+                                static_cast<double>(window.filled);
+    // target == 1 means zero tolerance: any violation is an infinite burn;
+    // represent it with a large finite rate so the JSON stays numeric.
+    state.burn_rate = allowed > 0.0 ? bad_fraction / allowed
+                                    : (window.bad_count > 0 ? 1e9 : 0.0);
+    state.budget_consumed =
+        allowed > 0.0
+            ? static_cast<double>(state.bad_ticks) /
+                  (allowed * static_cast<double>(state.ticks))
+            : (state.bad_ticks > 0 ? 1e9 : 0.0);
+
+    const bool should_fire = state.burn_rate >= 1.0;
+    if (should_fire != state.firing) {
+      state.firing = should_fire;
+      if (alerts != nullptr) {
+        SloAlert alert;
+        alert.slo = spec.name;
+        alert.series = spec.series;
+        alert.index = index;
+        alert.value = value;
+        alert.burn_rate = state.burn_rate;
+        alert.budget_consumed = state.budget_consumed;
+        alert.firing = should_fire;
+        alerts->push_back(std::move(alert));
+      }
+    }
+  }
+}
+
+}  // namespace bcast::obs

@@ -1,0 +1,113 @@
+// Declarative SLOs over telemetry series, with error-budget burn-rate
+// alerting.
+//
+// An SLO says: "TARGET fraction of ticks must satisfy `series OP threshold`"
+// (e.g. 99% of cycles keep p95 realized wait <= 40 buckets). The engine
+// scores every tick against each objective, tracks a sliding window of the
+// last WINDOW verdicts, and computes the burn rate — the window's violation
+// fraction divided by the allowed violation fraction (1 - target). Burn 1.0
+// means the error budget is being consumed exactly as fast as it accrues;
+// burn >= 1.0 raises a `firing` alert, and dropping back below re-arms it
+// with a `resolved` alert (edge-triggered, so a flapping series cannot flood
+// the stream).
+//
+// Spec grammar (docs/FORMATS.md "SLO spec grammar"):
+//   SPEC      := NAME ':' SERIES OP THRESHOLD [ '@' TARGET ] [ '/' WINDOW ]
+//   OP        := '<=' | '>='
+//   TARGET    := fraction in (0, 1]        (default 0.99)
+//   WINDOW    := positive integer ticks    (default 32)
+// Examples:
+//   p95_wait:sim.realized_wait<=40
+//   clean:verify.clean_rate>=0.999@0.9999/128
+// NAME is free-form UTF-8 (no ':'), SERIES is a dotted metric-style name.
+//
+// Everything here is deterministic: verdicts depend only on the series
+// values at each tick, never on wall clock.
+
+#ifndef BCAST_OBS_SLO_H_
+#define BCAST_OBS_SLO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/timeseries.h"
+#include "util/status.h"
+
+namespace bcast::obs {
+
+struct SloSpec {
+  std::string name;
+  std::string series;
+  enum class Op { kLessEq, kGreaterEq };
+  Op op = Op::kLessEq;
+  double threshold = 0.0;
+  /// Fraction of ticks that must meet the objective, in (0, 1].
+  double target = 0.99;
+  /// Burn-rate window, in ticks.
+  size_t window = 32;
+};
+
+/// Parses the grammar above. Errors name the offending part.
+Result<SloSpec> ParseSloSpec(std::string_view text);
+
+/// Parses a ';'-separated list of specs (the CLI's --slo flag).
+Result<std::vector<SloSpec>> ParseSloSpecList(std::string_view text);
+
+/// Canonical rendering (round-trips through ParseSloSpec).
+std::string FormatSloSpec(const SloSpec& spec);
+
+/// Running evaluation state of one SLO.
+struct SloState {
+  uint64_t ticks = 0;      // ticks with an observation for the series
+  uint64_t bad_ticks = 0;  // ticks that violated the objective
+  double burn_rate = 0.0;  // windowed violations / allowed violations
+  /// Cumulative budget consumed: bad_ticks / (ticks * (1 - target)).
+  double budget_consumed = 0.0;
+  bool firing = false;
+};
+
+/// One alert-stream event: an SLO started (firing=true) or stopped
+/// (firing=false) burning faster than its budget.
+struct SloAlert {
+  std::string slo;
+  std::string series;
+  uint64_t index = 0;  // tick the transition happened at
+  double value = 0.0;  // series value at that tick
+  double burn_rate = 0.0;
+  double budget_consumed = 0.0;
+  bool firing = true;
+};
+
+class SloEngine {
+ public:
+  explicit SloEngine(std::vector<SloSpec> specs);
+
+  /// Scores tick `index` against every spec, reading each spec's series
+  /// from `series` (a spec whose series has no point at `index` is skipped
+  /// this tick). Edge transitions append to *alerts.
+  void Tick(uint64_t index, const SeriesSet& series,
+            std::vector<SloAlert>* alerts);
+
+  const std::vector<SloSpec>& specs() const { return specs_; }
+  const std::vector<SloState>& states() const { return states_; }
+
+ private:
+  std::vector<SloSpec> specs_;
+  std::vector<SloState> states_;
+  // Per spec: ring of the last `window` verdicts (true = violation) and the
+  // running count of violations inside the ring.
+  struct Window {
+    std::vector<bool> bad;
+    size_t next = 0;
+    size_t filled = 0;
+    size_t bad_count = 0;
+  };
+  std::vector<Window> windows_;
+};
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_SLO_H_

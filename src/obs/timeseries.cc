@@ -1,0 +1,136 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace bcast::obs {
+
+Series::Series(std::string name, size_t capacity)
+    : name_(std::move(name)), capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 64));
+}
+
+void Series::Append(uint64_t index, double value) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back({index, value});
+  } else {
+    ring_[head_] = {index, value};
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+const SeriesPoint& Series::At(size_t i) const {
+  BCAST_CHECK_LT(i, ring_.size());
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+std::vector<SeriesPoint> Series::Points() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) out.push_back(At(i));
+  return out;
+}
+
+double Series::Last() const {
+  if (ring_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return At(ring_.size() - 1).value;
+}
+
+uint64_t Series::LastIndex() const {
+  if (ring_.empty()) return 0;
+  return At(ring_.size() - 1).index;
+}
+
+double Series::WindowMean(size_t window) const {
+  const size_t n = std::min(window, ring_.size());
+  double sum = 0.0;
+  size_t finite = 0;
+  for (size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    const double v = At(i).value;
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++finite;
+  }
+  if (finite == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(finite);
+}
+
+double Series::WindowMax(size_t window) const {
+  const size_t n = std::min(window, ring_.size());
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    const double v = At(i).value;
+    if (std::isnan(v)) continue;
+    if (std::isnan(best) || v > best) best = v;
+  }
+  return best;
+}
+
+SeriesSet::SeriesSet(size_t capacity) : capacity_(capacity) {}
+
+Series* SeriesSet::GetOrCreate(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return series_[it->second].get();
+  series_.push_back(std::make_unique<Series>(std::string(name), capacity_));
+  index_.emplace(std::string(name), series_.size() - 1);
+  return series_.back().get();
+}
+
+const Series* SeriesSet::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return series_[it->second].get();
+}
+
+DeltaSnapshotter::Delta DeltaSnapshotter::Take(
+    const MetricsSnapshot& snapshot) {
+  Delta delta;
+  for (const auto& [name, value] : snapshot.counters) {
+    auto it = prev_counters_.find(name);
+    const uint64_t prev = it == prev_counters_.end() ? 0 : it->second;
+    // Counters are monotonic by contract; clamp defensively so a registry
+    // swap mid-stream can never produce a wrapped-around delta.
+    delta.counters[name] = value >= prev ? value - prev : 0;
+  }
+  prev_counters_ = snapshot.counters;
+
+  for (const HistogramSnapshot& hist : snapshot.histograms) {
+    PrevHistogram& prev = prev_histograms_[hist.name];
+    HistogramSnapshot window;
+    window.name = hist.name;
+    uint64_t window_min = ~uint64_t{0};
+    uint64_t window_max = 0;
+    for (const HistogramBucket& bucket : hist.buckets) {
+      auto it = prev.bucket_counts.find(bucket.lower);
+      const uint64_t before = it == prev.bucket_counts.end() ? 0 : it->second;
+      if (bucket.count <= before) continue;
+      HistogramBucket diff = bucket;
+      diff.count = bucket.count - before;
+      window.buckets.push_back(diff);
+      window_min = std::min(window_min, bucket.lower);
+      window_max = std::max(window_max, bucket.upper);
+      window.count += diff.count;
+    }
+    window.sum = hist.sum >= prev.sum ? hist.sum - prev.sum : 0;
+    // The cells only track the run-wide min/max, so the window's extremes
+    // are bounded by its populated buckets — exact to the octave, which is
+    // the same resolution every other quantile answer has.
+    window.min = window.count > 0 ? window_min : 0;
+    window.max = window.count > 0 ? (window_max > 0 ? window_max - 1 : 0) : 0;
+    prev.bucket_counts.clear();
+    for (const HistogramBucket& bucket : hist.buckets) {
+      prev.bucket_counts[bucket.lower] = bucket.count;
+    }
+    prev.count = hist.count;
+    prev.sum = hist.sum;
+    delta.histograms.push_back(std::move(window));
+  }
+  return delta;
+}
+
+}  // namespace bcast::obs

@@ -9,6 +9,7 @@
 #include "broadcast/pointers.h"
 #include "exec/thread_pool.h"
 #include "obs/obs.h"
+#include "obs/stream.h"
 #include "popsim/replay_rng.h"
 #include "util/check.h"
 
@@ -500,6 +501,9 @@ Result<PopReport> PopulationSimulator::Run(
     const PopSimOptions& options, std::vector<ClientOutcome>* per_client) const {
   obs::ScopedSpan span("popsim.run");
   obs::ScopedTimer timer(obs::GetHistogram("popsim.run_ns"));
+  // Flush-on-degrade: a failed worker task or invalid spec below still emits
+  // the fin record ("error") and flushes the sink via this guard.
+  obs::TelemetryFinishGuard telemetry_guard(options.telemetry);
 
   auto sampler = PopulationSampler::Create(tree_, options.population);
   if (!sampler.ok()) return sampler.status();
@@ -658,9 +662,57 @@ Result<PopReport> PopulationSimulator::Run(
     obs::GetCounter("popsim.slots_processed").Add(report.slots_processed);
     obs::GetCounter("rng.draws.query").Add(report.rng_query_draws);
     obs::GetCounter("rng.draws.fault").Add(report.rng_fault_draws);
-    // Per-client wait/tuning distributions (successful clients, rounded to
-    // whole slots) — the population-scale histograms behind the p50/p95/p99
-    // columns of `bcastctl popsim`.
+  }
+
+  // Per-client wait/tuning distributions (successful clients, rounded to
+  // whole slots) — the population-scale histograms behind the p50/p95/p99
+  // columns of `bcastctl popsim`. With telemetry on, the same pass runs
+  // shard by shard instead of in one sweep: shards are contiguous ascending
+  // id ranges, so the recording order — and with it the final metrics
+  // snapshot — is identical, while each shard's telemetry tick now brackets
+  // exactly that shard's recordings and its windowed histogram quantiles
+  // (popsim.data_wait_slots.p50/...) cover exactly that shard's clients.
+  if (options.telemetry != nullptr) {
+    // Per-shard-merge telemetry: one tick per shard, in shard-id order, on
+    // this (single) aggregation thread — the workers have already joined, so
+    // emission can never race a shard and never perturbs a per-client
+    // outcome. Ticks are keyed by the shard ordinal, never wall clock, and
+    // every value is recomputed from the id-ordered fleet arrays, so the
+    // stream itself is byte-identical across thread counts too.
+    obs::TelemetryPipeline& telemetry = *options.telemetry;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    obs::Histogram data_wait_hist = obs::GetHistogram("popsim.data_wait_slots");
+    obs::Histogram tuning_hist = obs::GetHistogram("popsim.tuning_slots");
+    for (uint64_t s = 0; s < shards; ++s) {
+      auto [begin, end] = shard_range(s);
+      uint64_t succeeded = 0;
+      double shard_data_sum = 0.0;
+      for (uint64_t i = begin; i < end; ++i) {
+        if (fleet.success[i] == 0) continue;
+        ++succeeded;
+        shard_data_sum += fleet.data_wait[i];
+        data_wait_hist.Record(static_cast<uint64_t>(fleet.data_wait[i]));
+        tuning_hist.Record(fleet.tuning[i]);
+      }
+      const uint64_t clients = end - begin;
+      telemetry.Observe("popsim.shard.clients", static_cast<double>(clients));
+      telemetry.Observe("popsim.shard.success_rate",
+                        clients > 0 ? static_cast<double>(succeeded) /
+                                          static_cast<double>(clients)
+                                    : nan);
+      telemetry.Observe(
+          "popsim.shard.mean_data_wait",
+          succeeded > 0 ? shard_data_sum / static_cast<double>(succeeded)
+                        : nan);
+      telemetry.Observe("popsim.shard.retries",
+                        static_cast<double>(stats[s].retries));
+      telemetry.Observe("popsim.shard.slots_processed",
+                        static_cast<double>(stats[s].slots_processed));
+      telemetry.Observe("popsim.shard.rng_fault_draws",
+                        static_cast<double>(stats[s].rng_fault_draws));
+      telemetry.Tick(s);
+    }
+  } else if (obs::MetricsEnabled()) {
     obs::Histogram data_wait_hist = obs::GetHistogram("popsim.data_wait_slots");
     obs::Histogram tuning_hist = obs::GetHistogram("popsim.tuning_slots");
     for (uint64_t i = 0; i < n; ++i) {
@@ -669,6 +721,7 @@ Result<PopReport> PopulationSimulator::Run(
       tuning_hist.Record(fleet.tuning[i]);
     }
   }
+  telemetry_guard.set_outcome("ok");
   return report;
 }
 

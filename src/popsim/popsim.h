@@ -44,6 +44,10 @@
 #include "util/status.h"
 #include "workload/population.h"
 
+namespace bcast::obs {
+class TelemetryPipeline;
+}  // namespace bcast::obs
+
 namespace bcast {
 
 struct PopSimOptions {
@@ -61,6 +65,15 @@ struct PopSimOptions {
   /// Fleet shards; 0 = auto (a function of the population size only, so a
   /// run is reproducible regardless of the machine's core count).
   int num_shards = 0;
+  /// Streaming telemetry (obs/stream.h): when set, Run() closes one tick per
+  /// shard during the post-join merge — in shard-id order, keyed by the shard
+  /// ordinal, never wall clock — carrying that shard's client count, success
+  /// rate, mean data wait and fault/retry tallies, and Finish()es the
+  /// pipeline on every exit path. Emission happens strictly after the
+  /// workers join, on the aggregation thread, so the per-client outcomes and
+  /// the digest are byte-identical with this on or off, for every thread and
+  /// shard count.
+  obs::TelemetryPipeline* telemetry = nullptr;
 };
 
 /// One client's terminal outcome. Waits are in buckets (slot times);

@@ -9,6 +9,7 @@
 #include "alloc/allocation.h"
 #include "alloc/optimal.h"
 #include "obs/obs.h"
+#include "obs/stream.h"
 #include "tree/alphabetic.h"
 #include "util/check.h"
 #include "verify/verifier.h"
@@ -115,6 +116,10 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
   const bool faulty = options.faults.active();
 
   obs::ScopedSpan run_span("sim.adaptive_server");
+  // Flush-on-degrade: every early return below (failed replan with
+  // allow_stale=false, verifier rejection of a stale plan, ...) still emits
+  // the fin record and flushes the sink via this guard.
+  obs::TelemetryFinishGuard telemetry_guard(options.telemetry);
   AdaptiveServerReport report;
   report.mean_delivery_success = 0.0;
   int delivered_cycles = 0;
@@ -273,6 +278,19 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
     report.mean_oracle += oracle_wait;
     report.mean_delivery_success += delivery_rate;
 
+    if (options.telemetry != nullptr) {
+      obs::TelemetryPipeline& telemetry = *options.telemetry;
+      telemetry.Observe("sim.realized_wait", realized);
+      telemetry.Observe("sim.oracle_wait", oracle_wait);
+      telemetry.Observe("sim.estimation_error", stats.estimation_error);
+      telemetry.Observe("sim.delivery_rate", delivery_rate);
+      // Degradation ladder rung on air: 0 exact, 1 anytime, 2 heuristic,
+      // 3 stale-previous (alloc/allocation.h enumerator order).
+      telemetry.Observe("sim.served_rung",
+                        static_cast<double>(active_provenance));
+      telemetry.Tick(static_cast<uint64_t>(cycle));
+    }
+
     estimator.EndEpoch();
     if (drift) drift(cycle, &true_weights);
   }
@@ -281,6 +299,8 @@ Result<AdaptiveServerReport> RunAdaptiveServer(
                            : std::numeric_limits<double>::quiet_NaN();
   report.mean_oracle /= options.num_cycles;
   report.mean_delivery_success /= options.num_cycles;
+  telemetry_guard.set_outcome(
+      report.stale_serves > 0 || report.backoff_skips > 0 ? "degraded" : "ok");
   return report;
 }
 

@@ -22,6 +22,10 @@
 #include "util/rng.h"
 #include "util/status.h"
 
+namespace bcast::obs {
+class TelemetryPipeline;
+}  // namespace bcast::obs
+
 namespace bcast {
 
 struct AdaptiveServerOptions {
@@ -84,6 +88,14 @@ struct AdaptiveServerOptions {
   /// (planner_threads >= 2 and a batch of >= 2 requests); a killed oracle
   /// task is retried inline so the report baseline survives.
   TaskFaultOptions task_faults;
+  /// Streaming telemetry (obs/stream.h): when set, each cycle stages the
+  /// realized/oracle waits, estimation error, delivery rate and the served
+  /// degradation rung, then closes one tick keyed by the cycle ordinal
+  /// (never wall clock). The pipeline is Finish()ed on EVERY exit path —
+  /// "ok", "degraded" (stale serves / backoff skips) or "error" — so the
+  /// stream is never silently truncated. Purely observational: the report
+  /// and every RNG draw are byte-identical with this on or off.
+  obs::TelemetryPipeline* telemetry = nullptr;
 };
 
 /// Per-cycle outcome.

@@ -555,5 +555,173 @@ TEST(CliTest, SimulateAcceptsPlanBudgetFlags) {
             std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming telemetry: fail-fast report paths, --telemetry-out/--slo, the
+// adaptive `simulate --cycles` mode and `top --replay`.
+// ---------------------------------------------------------------------------
+
+// First line of `text` containing `needle`; empty when absent.
+std::string LineContaining(const std::string& text, const std::string& needle) {
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return {};
+  size_t end = text.find('\n', pos);
+  return text.substr(pos, end == std::string::npos ? end : end - pos);
+}
+
+TEST(CliTest, MetricsOutUnwritablePathFailsBeforeTheRun) {
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--metrics-out",
+                         "/nonexistent_dir_xyz/metrics.json"},
+                        &out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("cannot open for writing"), std::string::npos) << out;
+  // Fail-fast: the plan itself never ran.
+  EXPECT_EQ(out.find("average data wait"), std::string::npos) << out;
+}
+
+TEST(CliTest, TraceOutUnwritablePathFailsBeforeTheRun) {
+  std::string out;
+  int code = RunCommand({"plan", "--tree", kExampleTree, "--trace-out",
+                         "/nonexistent_dir_xyz/trace.json"},
+                        &out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("cannot open for writing"), std::string::npos) << out;
+  EXPECT_EQ(out.find("average data wait"), std::string::npos) << out;
+}
+
+TEST(CliTest, TelemetryOutUnwritablePathFailsBeforeTheRun) {
+  std::string out;
+  int code = RunCommand({"simulate", "--cycles", "3", "--items", "8",
+                         "--queries-per-cycle", "20", "--telemetry-out",
+                         "/nonexistent_dir_xyz/run.jsonl"},
+                        &out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("cannot open for writing"), std::string::npos) << out;
+  EXPECT_EQ(out.find("adaptive server"), std::string::npos) << out;
+}
+
+TEST(CliTest, SloWithoutTelemetryOutIsAnError) {
+  std::string out;
+  int code = RunCommand({"simulate", "--cycles", "3", "--slo",
+                         "d:sim.delivery_rate>=0.99"},
+                        &out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("--slo requires --telemetry-out"), std::string::npos);
+}
+
+TEST(CliTest, BadSloSpecIsAStartupError) {
+  std::string path = ::testing::TempDir() + "/cli_bad_slo.jsonl";
+  std::string out;
+  int code = RunCommand({"simulate", "--cycles", "3", "--telemetry-out", path,
+                         "--slo", "notaspec"},
+                        &out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_EQ(out.find("adaptive server"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, TelemetryOutRejectedOnNonStreamingCommands) {
+  std::string path = ::testing::TempDir() + "/cli_plan_telemetry.jsonl";
+  std::string out;
+  EXPECT_EQ(RunCommand({"plan", "--tree", kExampleTree, "--telemetry-out",
+                        path},
+                       &out),
+            1);
+  EXPECT_NE(out.find("only supported by"), std::string::npos) << out;
+  // Per-query simulate has no cycle ordinal to tick on.
+  out.clear();
+  EXPECT_EQ(RunCommand({"simulate", "--tree", kExampleTree, "--queries",
+                        "100", "--telemetry-out", path},
+                       &out),
+            1);
+  EXPECT_NE(out.find("requires --cycles"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, AdaptiveSimulateRuns) {
+  std::string out;
+  int code = RunCommand({"simulate", "--cycles", "6", "--items", "8",
+                         "--queries-per-cycle", "50", "--seed", "21"},
+                        &out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("adaptive server   : 6 cycle(s)"), std::string::npos);
+  EXPECT_NE(out.find("served provenance : exact"), std::string::npos);
+}
+
+TEST(CliTest, AdaptiveTelemetryStreamAndTopReplay) {
+  std::string path = ::testing::TempDir() + "/cli_adaptive_telemetry.jsonl";
+  std::string out;
+  // A threshold no cycle can meet: the SLO must fire at least once.
+  int code = RunCommand({"simulate", "--cycles", "8", "--items", "8",
+                         "--queries-per-cycle", "50", "--seed", "21",
+                         "--telemetry-out", path, "--slo",
+                         "wait:sim.realized_wait<=0.0001@0.5/4"},
+                        &out);
+  EXPECT_EQ(code, 0) << out;
+  std::string wrote = LineContaining(out, "wrote telemetry to");
+  EXPECT_NE(wrote.find("8 ticks"), std::string::npos) << out;
+  EXPECT_EQ(wrote.find(" 0 alerts"), std::string::npos)
+      << "the impossible SLO never fired: " << out;
+
+  std::string top;
+  code = RunCommand({"top", "--replay", path}, &top);
+  EXPECT_EQ(code, 0) << top;
+  EXPECT_NE(top.find("source adaptive_server"), std::string::npos) << top;
+  EXPECT_NE(top.find("ticks             : 8"), std::string::npos) << top;
+  EXPECT_NE(top.find("sim.realized_wait"), std::string::npos) << top;
+  EXPECT_NE(top.find("slos:"), std::string::npos) << top;
+  EXPECT_NE(top.find("wait"), std::string::npos) << top;
+  EXPECT_NE(top.find("rungs             : exact"), std::string::npos) << top;
+  EXPECT_NE(top.find("outcome ok"), std::string::npos) << top;
+
+  // Round trip: replaying the same stream again renders identical series.
+  std::string top_again;
+  EXPECT_EQ(RunCommand({"top", "--replay", path}, &top_again), 0);
+  EXPECT_EQ(top, top_again);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, TopRequiresReplay) {
+  std::string out;
+  EXPECT_EQ(RunCommand({"top"}, &out), 1);
+  EXPECT_NE(out.find("--replay"), std::string::npos);
+}
+
+TEST(CliTest, PopsimTelemetryKeepsDigestIdentical) {
+  // The CLI face of the determinism acceptance bar: the outcome digest is
+  // identical with and without --telemetry-out, at 1 and 8 threads.
+  std::string path = ::testing::TempDir() + "/cli_popsim_telemetry.jsonl";
+  std::string reference;
+  for (int threads : {1, 8}) {
+    const std::string threads_str = std::to_string(threads);
+    std::string plain_out;
+    int code = RunCommand({"popsim", "--tree", kExampleTree, "--channels",
+                           "2", "--clients", "2000", "--seed", "5",
+                           "--threads", threads_str},
+                          &plain_out);
+    ASSERT_EQ(code, 0) << plain_out;
+    std::string digest = LineContaining(plain_out, "outcome digest");
+    ASSERT_FALSE(digest.empty()) << plain_out;
+
+    std::string telemetry_out;
+    code = RunCommand({"popsim", "--tree", kExampleTree, "--channels", "2",
+                       "--clients", "2000", "--seed", "5", "--threads",
+                       threads_str, "--telemetry-out", path},
+                      &telemetry_out);
+    ASSERT_EQ(code, 0) << telemetry_out;
+    EXPECT_EQ(LineContaining(telemetry_out, "outcome digest"), digest);
+    EXPECT_NE(telemetry_out.find("wrote telemetry to"), std::string::npos);
+
+    if (reference.empty()) reference = digest;
+    EXPECT_EQ(digest, reference);
+  }
+  // The stream replays: one tick per shard, popsim source.
+  std::string top;
+  EXPECT_EQ(RunCommand({"top", "--replay", path}, &top), 0) << top;
+  EXPECT_NE(top.find("source popsim"), std::string::npos) << top;
+  EXPECT_NE(top.find("popsim.shard.clients"), std::string::npos) << top;
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace bcast

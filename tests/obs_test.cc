@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -202,6 +203,72 @@ TEST(ObsTest, MonotonicClockAdvances) {
 
 TEST(ObsTest, WriteTextFileRejectsBadPath) {
   EXPECT_FALSE(WriteTextFile("/nonexistent-dir/x/y.json", "{}").ok());
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesSerializeAsNull) {
+  // JSON has no NaN/Infinity literal; the writer must not emit one (it would
+  // poison every downstream parser, including `bcastctl top --replay`).
+  std::string out;
+  JsonWriter json(&out, JsonWriter::Layout::kCompact);
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(-std::numeric_limits<double>::infinity());
+  json.Double(2.5);
+  json.EndArray();
+  EXPECT_EQ(out, "[null,null,null,2.5]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripShortest) {
+  std::string out;
+  JsonWriter json(&out);
+  json.Double(0.1);
+  EXPECT_EQ(out, "0.1");
+  out.clear();
+  JsonWriter json2(&out);
+  json2.Double(1.0 / 3.0);
+  EXPECT_EQ(std::stod(out), 1.0 / 3.0);
+}
+
+TEST(JsonWriterTest, CompactLayoutIsSingleLine) {
+  std::string out;
+  JsonWriter json(&out, JsonWriter::Layout::kCompact);
+  json.BeginObject();
+  json.Key("a");
+  json.BeginObject();
+  json.Key("b");
+  json.UInt(1);
+  json.EndObject();
+  json.Key("c");
+  json.BeginArray();
+  json.Int(-2);
+  json.Bool(true);
+  json.Null();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(out, "{\"a\":{\"b\":1},\"c\":[-2,true,null]}");
+}
+
+TEST(JsonWriterTest, Utf8PassesThroughOnlyControlsEscaped) {
+  // UTF-8 SLO names must survive byte-for-byte; only the JSON-mandated
+  // escapes (quote, backslash, controls) may be rewritten.
+  std::string out;
+  JsonWriter json(&out, JsonWriter::Layout::kCompact);
+  json.String("délai_p95 响应 \"q\"\t");
+  EXPECT_EQ(out, "\"délai_p95 响应 \\\"q\\\"\\t\"");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::string pretty;
+  JsonWriter p(&pretty);
+  p.BeginObject();
+  p.EndObject();
+  EXPECT_EQ(pretty, "{}");
+  std::string compact;
+  JsonWriter c(&compact, JsonWriter::Layout::kCompact);
+  c.BeginArray();
+  c.EndArray();
+  EXPECT_EQ(compact, "[]");
 }
 
 }  // namespace

@@ -341,6 +341,48 @@ class RawThreadRuleTest(LintTreeTestCase):
         self.assertEqual(self.lint(rules=("raw-thread",)), [])
 
 
+class TelemetrySinkRuleTest(LintTreeTestCase):
+    def test_flags_direct_file_writes_in_engines(self):
+        self.write("src/sim/x.cc",
+                   "#include <fstream>\n"
+                   "void dump() { std::ofstream out(\"telemetry.jsonl\"); }\n")
+        self.write("src/popsim/y.cc",
+                   "#include <cstdio>\n"
+                   "void dump() { std::FILE* f = fopen(\"t.jsonl\", \"w\");\n"
+                   "  fprintf(f, \"x\"); }\n")
+        findings = self.lint(rules=("telemetry-sink",))
+        # sim: <fstream> include + ofstream; popsim: fopen + fprintf.
+        self.assertEqual(len(findings), 4)
+        self.assertEqual(self.rules_hit(findings), ["telemetry-sink"])
+        self.assertEqual(sorted({f.path for f in findings}),
+                         ["src/popsim/y.cc", "src/sim/x.cc"])
+
+    def test_other_directories_are_exempt(self):
+        # The obs layer IS the sink implementation; tools/ and bench/ write
+        # reports by design. Only the engines are locked down.
+        self.write("src/obs/stream.cc",
+                   "#include <fstream>\n"
+                   "void w() { std::ofstream out(\"x.jsonl\"); }\n")
+        self.write("src/core/planner.cc",
+                   "#include <fstream>\n")
+        self.assertEqual(self.lint(rules=("telemetry-sink",)), [])
+
+    def test_clean_engine_passes(self):
+        self.write("src/popsim/popsim.cc",
+                   "#include \"obs/stream.h\"\n"
+                   "void emit(bcast::obs::TelemetrySink* sink) {\n"
+                   "  (void)sink;\n"
+                   "}\n")
+        self.assertEqual(self.lint(rules=("telemetry-sink",)), [])
+
+    def test_suppression(self):
+        self.write("src/sim/x.cc",
+                   "// core-dump capture, not telemetry\n"
+                   "// bcast-lint: allow(telemetry-sink)\n"
+                   "void f() { fwrite(0, 0, 0, 0); }\n")
+        self.assertEqual(self.lint(rules=("telemetry-sink",)), [])
+
+
 class ScrubberTest(unittest.TestCase):
     def test_digit_separators_do_not_open_char_literal(self):
         # 200'000'000 must not be mistaken for a char literal — otherwise

@@ -22,6 +22,15 @@ def report(times, run_type="iteration"):
         for name, t in times.items()]}
 
 
+def popsim_report(cells):
+    """cells: {instance_name: {threads: seconds}} in population-sim shape."""
+    return {"bench": "population_sim", "instances": [
+        {"name": name,
+         "runs": [{"threads": threads, "seconds": seconds}
+                  for threads, seconds in runs.items()]}
+        for name, runs in cells.items()]}
+
+
 class CheckObsOverheadTest(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory()
@@ -103,6 +112,33 @@ class CheckObsOverheadTest(unittest.TestCase):
         baseline = self.write_json(
             "b.json", {"benchmarks": [{"name": "BM_a"}]})
         with_obs = self.write_json("o.json", report({"BM_a": 1.0}))
+        result = self.run_check(baseline, with_obs)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("malformed benchmark record", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_popsim_instances_format_within_budget(self):
+        baseline = self.write_json("b.json", popsim_report(
+            {"zipf_bernoulli_1m": {1: 10.0, 8: 2.0},
+             "doze_uniform_100k": {1: 1.0}}))
+        with_obs = self.write_json("o.json", popsim_report(
+            {"zipf_bernoulli_1m": {1: 10.2, 8: 2.04},
+             "doze_uniform_100k": {1: 1.01}}))
+        result = self.run_check(baseline, with_obs)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("zipf_bernoulli_1m/threads=8", result.stdout)
+
+    def test_popsim_instances_format_over_budget(self):
+        baseline = self.write_json("b.json", popsim_report(
+            {"zipf_bernoulli_1m": {1: 10.0}}))
+        with_obs = self.write_json("o.json", popsim_report(
+            {"zipf_bernoulli_1m": {1: 12.0}}))
+        self.assertEqual(self.run_check(baseline, with_obs).returncode, 1)
+
+    def test_popsim_malformed_cell_exits_two(self):
+        baseline = self.write_json(
+            "b.json", {"instances": [{"name": "x", "runs": [{"threads": 1}]}]})
+        with_obs = self.write_json("o.json", popsim_report({"x": {1: 1.0}}))
         result = self.run_check(baseline, with_obs)
         self.assertEqual(result.returncode, 2)
         self.assertIn("malformed benchmark record", result.stderr)

@@ -1,0 +1,178 @@
+"""Unit tests for tools/check_telemetry.py (stdlib unittest).
+
+Drives the CLI via subprocess so the exit-code contract (0 valid,
+1 validation failure, 2 usage/IO error) is what is actually tested.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir))
+SCRIPT = os.path.join(REPO_ROOT, "tools", "check_telemetry.py")
+
+
+def meta(**kwargs):
+    record = {"v": 1, "t": "meta", "source": "adaptive_server", "slos": []}
+    record.update(kwargs)
+    return record
+
+
+def tick(i, series=None):
+    return {"v": 1, "t": "tick", "i": i,
+            "series": series if series is not None else {"x": 1.0}}
+
+
+def alert(i, state="firing", slo="latency"):
+    return {"v": 1, "t": "alert", "i": i, "slo": slo, "series": "x",
+            "state": state, "value": 2.0, "burn_rate": 3.0,
+            "budget_consumed": 0.5}
+
+
+def fin(ticks, alerts=0, dropped=0, outcome="ok"):
+    return {"v": 1, "t": "fin", "i": 0, "ticks": ticks, "alerts": alerts,
+            "dropped": dropped, "outcome": outcome}
+
+
+class CheckTelemetryTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = self._tmp.name
+        self.addCleanup(self._tmp.cleanup)
+
+    def write_stream(self, records, name="run.jsonl"):
+        path = os.path.join(self.dir, name)
+        with open(path, "w") as f:
+            for record in records:
+                if isinstance(record, str):
+                    f.write(record + "\n")
+                else:
+                    f.write(json.dumps(record) + "\n")
+        return path
+
+    def run_check(self, path, *extra):
+        return subprocess.run([sys.executable, SCRIPT, path, *extra],
+                              capture_output=True, text=True)
+
+    def test_valid_stream_passes(self):
+        path = self.write_stream(
+            [meta(), tick(0), tick(1), tick(2), fin(3)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("OK", result.stdout)
+        self.assertIn("3 tick(s)", result.stdout)
+
+    def test_null_series_value_is_a_valid_nan(self):
+        path = self.write_stream(
+            [meta(), tick(0, {"x": None, "y": 2.5}), fin(1)])
+        self.assertEqual(self.run_check(path).returncode, 0)
+
+    def test_blank_lines_skipped(self):
+        path = self.write_stream([meta(), "", tick(0), "", fin(1)])
+        self.assertEqual(self.run_check(path).returncode, 0)
+
+    def test_missing_fin_fails(self):
+        path = self.write_stream([meta(), tick(0)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no fin record", result.stderr)
+
+    def test_missing_meta_fails(self):
+        path = self.write_stream([tick(0), fin(1)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("before the meta record", result.stderr)
+
+    def test_non_monotone_tick_index_fails(self):
+        path = self.write_stream([meta(), tick(0), tick(2), tick(1), fin(3)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("strictly increasing", result.stderr)
+
+    def test_repeated_tick_index_fails(self):
+        path = self.write_stream([meta(), tick(5), tick(5), fin(2)])
+        self.assertEqual(self.run_check(path).returncode, 1)
+
+    def test_drops_fail_by_default_but_budget_flag_allows(self):
+        path = self.write_stream([meta(), tick(0), fin(1, dropped=2)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("dropped", result.stderr)
+        self.assertEqual(
+            self.run_check(path, "--allow-drops", "2").returncode, 0)
+
+    def test_expect_alert(self):
+        quiet = self.write_stream([meta(), tick(0), fin(1)], "quiet.jsonl")
+        result = self.run_check(quiet, "--expect-alert")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no firing alert", result.stderr)
+
+        noisy = self.write_stream(
+            [meta(slos=["latency:x<=1@0.9/8"]), tick(0), alert(0),
+             fin(1, alerts=1)], "noisy.jsonl")
+        self.assertEqual(
+            self.run_check(noisy, "--expect-alert").returncode, 0)
+
+    def test_resolved_alert_does_not_satisfy_expect_alert(self):
+        path = self.write_stream(
+            [meta(slos=["latency:x<=1@0.9/8"]), tick(0),
+             alert(0, state="resolved"), fin(1, alerts=1)])
+        self.assertEqual(self.run_check(path).returncode, 0)
+        self.assertEqual(self.run_check(path, "--expect-alert").returncode, 1)
+
+    def test_alert_for_undeclared_slo_fails(self):
+        path = self.write_stream(
+            [meta(slos=["latency:x<=1@0.9/8"]), tick(0),
+             alert(0, slo="other"), fin(1, alerts=1)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("undeclared SLO", result.stderr)
+
+    def test_fin_totals_must_match_stream(self):
+        path = self.write_stream([meta(), tick(0), tick(1), fin(5)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("fin claims", result.stderr)
+
+    def test_record_after_fin_fails(self):
+        path = self.write_stream([meta(), tick(0), fin(1), tick(1)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("after the fin record", result.stderr)
+
+    def test_wrong_schema_version_fails(self):
+        bad = dict(tick(0))
+        bad["v"] = 2
+        path = self.write_stream([meta(), bad, fin(1)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("schema version", result.stderr)
+
+    def test_source_flag(self):
+        path = self.write_stream([meta(), tick(0), fin(1)])
+        self.assertEqual(
+            self.run_check(path, "--source", "adaptive_server").returncode, 0)
+        result = self.run_check(path, "--source", "popsim")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("source", result.stderr)
+
+    def test_malformed_json_fails_without_traceback(self):
+        path = self.write_stream([meta(), "{not json", fin(0)])
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("not valid JSON", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_missing_file_exits_two_without_traceback(self):
+        result = self.run_check(os.path.join(self.dir, "absent.jsonl"))
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("cannot read", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

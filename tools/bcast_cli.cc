@@ -1,8 +1,13 @@
 #include "tools/bcast_cli.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <climits>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -14,7 +19,10 @@
 #include "exec/thread_pool.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "obs/slo.h"
+#include "obs/stream.h"
 #include "popsim/popsim.h"
+#include "sim/server_sim.h"
 
 namespace bcast {
 
@@ -42,6 +50,15 @@ constexpr char kUsage[] =
     "                [--ge-good-to-bad p] [--ge-bad-to-good p]\n"
     "                [--ge-loss-good p] [--ge-loss-bad p]\n"
     "                [--retries n] [--restarts n] [--scan-passes n]\n"
+    "  bcastctl simulate --cycles N   # adaptive-server mode: drifting true\n"
+    "                weights, per-cycle replanning (no --tree; the catalog\n"
+    "                is built from --items weights)\n"
+    "                [--items N] [--queries-per-cycle N] [--replan-every R]\n"
+    "                [--estimator-decay d] [--drift-every D] [--channels k]\n"
+    "                [--strategy ...] [--threads N] [--seed S]\n"
+    "                [--plan-budget-expansions B] [--degrade ...]\n"
+    "                [--loss-model ... and other --loss flags for the\n"
+    "                 downlink medium]\n"
     "  bcastctl popsim --tree <s-expr>|--tree-file <path>|--program <path>\n"
     "                [--channels k] [--strategy ...] [--threads N] [--shards S]\n"
     "                [--replicate-copies R] [--replicate-levels L]\n"
@@ -57,6 +74,9 @@ constexpr char kUsage[] =
     "  bcastctl verify --program <path>\n"
     "  bcastctl info --tree <s-expr>|--tree-file <path>\n"
     "  bcastctl stats <plan flags>   # plan, then dump collected metrics\n"
+    "  bcastctl top --replay <file.jsonl> [--window N]\n"
+    "                # render a telemetry stream as a dashboard: per-series\n"
+    "                # sparklines, SLO burn/budget bars, degradation rungs\n"
     "\n"
     "every command also accepts:\n"
     "  --metrics-out <path>   write a metrics snapshot (JSON, see\n"
@@ -64,8 +84,16 @@ constexpr char kUsage[] =
     "  --trace-out <path>     write spans as a Chrome trace_event file\n"
     "                         (load in chrome://tracing or Perfetto)\n"
     "\n"
+    "simulate --cycles and popsim also accept:\n"
+    "  --telemetry-out <path> stream per-cycle / per-shard telemetry as\n"
+    "                         JSONL (schema in docs/FORMATS.md); replay it\n"
+    "                         with `bcastctl top --replay <path>`\n"
+    "  --slo <spec[;spec]>    SLO burn-rate specs evaluated on the stream,\n"
+    "                         e.g. 'delivery:sim.delivery_rate>=0.99@0.9/20'\n"
+    "                         (grammar: NAME:SERIES<=|>=THRESH[@TARGET][/WIN])\n"
+    "\n"
     "exit codes: 0 ok, 1 error, 2 usage, 3 ok but the planner degraded\n"
-    "(budget/deadline fired; an anytime or heuristic plan was served)\n";
+    "(budget/deadline fired; an anytime, heuristic or stale plan was served)\n";
 
 // Parsed flag/value pairs; accepts both "--flag value" and "--flag=value".
 class FlagMap {
@@ -376,8 +404,178 @@ Result<FaultModel> LoadFaultModel(const FlagMap& flags, int num_channels,
   return FaultModel::CreateUniform(num_channels, spec);
 }
 
+// Fail-fast probe for report paths (--metrics-out / --trace-out): an
+// unwritable destination must die before the run, not after the work is
+// done and the snapshot write finally fails.
+Status ProbeWritable(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open for writing: " + path + " (" +
+                                std::strerror(errno) + ")");
+  }
+  std::fclose(file);
+  return Status::Ok();
+}
+
+// --telemetry-out / --slo, resolved once in RunCli and handed to the
+// commands that can stream (simulate --cycles and popsim). The sink is
+// opened before dispatch, so an unwritable path fails the whole command at
+// startup — never after a million-client run.
+struct TelemetryParams {
+  obs::TelemetrySink* sink = nullptr;  // non-null iff --telemetry-out given
+  obs::Registry* registry = nullptr;
+  std::vector<obs::SloSpec> slos;
+  std::string path;
+};
+
+// Closes the stream, reports totals, and propagates the first sink error: a
+// telemetry file that went bad mid-run (disk full, path yanked) must fail
+// the command, not vanish silently. The engine's own finish guard has
+// usually already written the fin record with the run's real outcome;
+// Finish() here is the idempotent status collection.
+Status FinishTelemetry(obs::TelemetryPipeline* pipeline,
+                       const TelemetryParams& telemetry,
+                       std::ostringstream* os) {
+  Status status = pipeline->Finish("ok");
+  BCAST_RETURN_IF_ERROR(status);
+  *os << "wrote telemetry to " << telemetry.path << " (" << pipeline->ticks()
+      << " ticks, " << pipeline->alerts_emitted() << " alerts, "
+      << pipeline->dropped() << " dropped)\n";
+  return Status::Ok();
+}
+
+// `bcastctl simulate --cycles N`: the adaptive-server loop of
+// sim/server_sim.h — a drifting true distribution, per-cycle replanning from
+// estimated frequencies, the full degradation ladder, and (with
+// --telemetry-out) one telemetry tick per cycle.
+Status CmdSimulateAdaptive(const FlagMap& flags, std::ostringstream* os,
+                           bool* degraded, const TelemetryParams& telemetry) {
+  AdaptiveServerOptions options;
+  auto cycles = flags.GetInt("cycles", 20);
+  auto items = flags.GetInt("items", 64);
+  auto queries = flags.GetInt("queries-per-cycle", 2000);
+  auto replan_every = flags.GetInt("replan-every", 1);
+  auto decay = flags.GetDouble("estimator-decay", options.estimator_decay);
+  auto drift_every = flags.GetInt("drift-every", 0);
+  auto seed = flags.GetInt("seed", 0xC11);
+  auto channels = flags.GetInt("channels", 2);
+  if (!cycles.ok()) return cycles.status();
+  if (!items.ok()) return items.status();
+  if (!queries.ok()) return queries.status();
+  if (!replan_every.ok()) return replan_every.status();
+  if (!decay.ok()) return decay.status();
+  if (!drift_every.ok()) return drift_every.status();
+  if (!seed.ok()) return seed.status();
+  if (!channels.ok()) return channels.status();
+  if (*cycles < 1) return InvalidArgumentError("--cycles must be >= 1");
+  if (*items < 2) return InvalidArgumentError("--items must be >= 2");
+  if (*queries < 1) {
+    return InvalidArgumentError("--queries-per-cycle must be >= 1");
+  }
+  if (*replan_every < 0) {
+    return InvalidArgumentError("--replan-every must be >= 0");
+  }
+  if (*drift_every < 0) {
+    return InvalidArgumentError("--drift-every must be >= 0");
+  }
+  options.num_cycles = *cycles;
+  options.queries_per_cycle = *queries;
+  options.replan_every = *replan_every;
+  options.estimator_decay = *decay;
+  options.num_channels = *channels;
+  auto strategy = ParseStrategy(flags.Get("strategy").value_or("sorting"));
+  if (!strategy.ok()) return strategy.status();
+  options.strategy = *strategy;
+  auto threads = LoadThreads(flags);
+  if (!threads.ok()) return threads.status();
+  options.planner_threads = *threads;
+  PlannerOptions budget;  // LoadPlanBudget's flag surface, reused verbatim
+  BCAST_RETURN_IF_ERROR(LoadPlanBudget(flags, &budget));
+  options.plan_budget_expansions = budget.optimal.budget.max_expansions;
+  options.plan_deadline_ns = budget.optimal.budget.deadline_ns;
+  options.degrade = budget.degrade;
+  auto faults = LoadFaultModel(flags, *channels);
+  if (!faults.ok()) return faults.status();
+  options.faults = *faults;
+
+  // Zipf(1) catalog: item i's true rate is 1/(i+1). Drift, when enabled,
+  // rotates the weights one item every --drift-every cycles — fully
+  // deterministic, so two runs with the same flags serve identical queries.
+  std::vector<double> weights(static_cast<size_t>(*items));
+  for (int i = 0; i < *items; ++i) {
+    weights[static_cast<size_t>(i)] = 1.0 / (i + 1.0);
+  }
+  DriftFn drift;
+  if (*drift_every > 0) {
+    const int every = *drift_every;
+    drift = [every](int cycle, std::vector<double>* w) {
+      if ((cycle + 1) % every == 0) {
+        std::rotate(w->begin(), w->begin() + 1, w->end());
+      }
+    };
+  }
+
+  std::optional<obs::TelemetryPipeline> pipeline;
+  if (telemetry.sink != nullptr) {
+    obs::TelemetryOptions stream_options;
+    stream_options.registry = telemetry.registry;
+    stream_options.counters = {
+        "planner.deadline_missed",      "planner.degraded.anytime",
+        "planner.degraded.heuristic",   "planner.degraded.stale",
+        "planner.backoff_skips",        "sim.oracle_plan_retries",
+        "fault.task.injected_failures", "fault.task.injected_stalls"};
+    stream_options.slos = telemetry.slos;
+    stream_options.source = "adaptive_server";
+    stream_options.meta["seed"] = std::to_string(*seed);
+    stream_options.meta["cycles"] = std::to_string(*cycles);
+    pipeline.emplace(telemetry.sink, std::move(stream_options));
+    options.telemetry = &*pipeline;
+  }
+
+  if (obs::MetricsEnabled()) {
+    obs::SetMeta("seed", std::to_string(*seed));
+    obs::GetGauge("run.seed").Set(*seed);
+  }
+  Rng rng(static_cast<uint64_t>(*seed));
+  auto report = RunAdaptiveServer(std::move(weights), drift, &rng, options);
+  if (!report.ok()) return report.status();
+
+  int rungs[4] = {0, 0, 0, 0};
+  for (const CycleStats& stats : report->cycles) {
+    const int rung = static_cast<int>(stats.served_provenance);
+    ++rungs[std::clamp(rung, 0, 3)];
+  }
+  *os << "adaptive server   : " << *cycles << " cycle(s), " << *items
+      << " item(s), " << *queries << " queries/cycle, replan every "
+      << *replan_every << " (seed " << *seed << ")\n";
+  *os << "mean data wait    : realized " << report->mean_realized
+      << ", oracle " << report->mean_oracle << " buckets\n";
+  *os << "delivery          : " << 100.0 * report->mean_delivery_success
+      << "% mean per-cycle success\n";
+  *os << "served provenance : exact " << rungs[0] << ", anytime " << rungs[1]
+      << ", heuristic " << rungs[2] << ", stale " << rungs[3] << "\n";
+  if (report->stale_serves > 0 || report->backoff_skips > 0) {
+    *os << "ladder stage 4    : " << report->stale_serves
+        << " stale serve(s), " << report->backoff_skips
+        << " backoff skip(s)\n";
+    *degraded = true;
+  }
+  if (pipeline.has_value()) {
+    BCAST_RETURN_IF_ERROR(FinishTelemetry(&*pipeline, telemetry, os));
+  }
+  return Status::Ok();
+}
+
 Status CmdSimulate(const FlagMap& flags, std::ostringstream* os,
-                   bool* degraded) {
+                   bool* degraded, const TelemetryParams& telemetry) {
+  if (flags.Get("cycles").has_value()) {
+    return CmdSimulateAdaptive(flags, os, degraded, telemetry);
+  }
+  if (telemetry.sink != nullptr) {
+    return InvalidArgumentError(
+        "--telemetry-out on simulate requires --cycles (only the "
+        "adaptive-server mode has a per-cycle stream)");
+  }
   SimOptions sim_options;
   auto queries = flags.GetInt("queries", 100'000);
   if (!queries.ok()) return queries.status();
@@ -504,8 +702,8 @@ Status CmdSimulate(const FlagMap& flags, std::ostringstream* os,
 // planned or saved program. Shares the plan/program loading, loss-model and
 // recovery flags with `simulate`; adds the population shape knobs and a
 // second --degraded-* loss-flag set for the degraded client fraction.
-Status CmdPopSim(const FlagMap& flags, std::ostringstream* os,
-                 bool* degraded) {
+Status CmdPopSim(const FlagMap& flags, std::ostringstream* os, bool* degraded,
+                 const TelemetryParams& telemetry) {
   PopSimOptions options;
   auto clients = flags.GetInt("clients", 100'000);
   if (!clients.ok()) return clients.status();
@@ -651,6 +849,21 @@ Status CmdPopSim(const FlagMap& flags, std::ostringstream* os,
     obs::GetGauge("run.seed").Set(*seed);
     obs::GetCounter("rng.draws.tree").Add(0);
   }
+  std::optional<obs::TelemetryPipeline> pipeline;
+  if (telemetry.sink != nullptr) {
+    obs::TelemetryOptions stream_options;
+    stream_options.registry = telemetry.registry;
+    // Each shard tick carries the windowed quantiles of exactly that shard's
+    // clients (the engine interleaves histogram recording with the ticks).
+    stream_options.histograms = {"popsim.data_wait_slots",
+                                 "popsim.tuning_slots"};
+    stream_options.slos = telemetry.slos;
+    stream_options.source = "popsim";
+    stream_options.meta["seed"] = std::to_string(*seed);
+    stream_options.meta["clients"] = std::to_string(*clients);
+    pipeline.emplace(telemetry.sink, std::move(stream_options));
+    options.telemetry = &*pipeline;
+  }
   const auto start = std::chrono::steady_clock::now();
   auto report = (*sim)->Run(options);
   if (!report.ok()) return report.status();
@@ -696,6 +909,166 @@ Status CmdPopSim(const FlagMap& flags, std::ostringstream* os,
                 static_cast<unsigned long long>(report->digest));
   *os << "outcome digest    : " << digest_hex
       << " (thread- and shard-invariant)\n";
+  if (pipeline.has_value()) {
+    BCAST_RETURN_IF_ERROR(FinishTelemetry(&*pipeline, telemetry, os));
+  }
+  return Status::Ok();
+}
+
+// Unicode block-element sparkline over the last `width` points of a series.
+// NaN points (no observation that tick) render as '.'.
+std::string Sparkline(const obs::Series& series, size_t width) {
+  static constexpr const char* kGlyphs[] = {"▁", "▂", "▃",
+                                            "▄", "▅", "▆",
+                                            "▇", "█"};
+  const size_t count = std::min(width, series.size());
+  const size_t first = series.size() - count;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (size_t i = first; i < series.size(); ++i) {
+    const double v = series.At(i).value;
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (size_t i = first; i < series.size(); ++i) {
+    const double v = series.At(i).value;
+    if (std::isnan(v)) {
+      out += '.';
+      continue;
+    }
+    const double unit = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    const int glyph = std::clamp(static_cast<int>(unit * 7.0 + 0.5), 0, 7);
+    out += kGlyphs[glyph];
+  }
+  return out;
+}
+
+// Ten-cell budget bar: '#' for consumed budget, '-' for remaining; caps at
+// full so a blown budget still renders.
+std::string BudgetBar(double consumed) {
+  const int filled =
+      std::clamp(static_cast<int>(consumed * 10.0 + 0.5), 0, 10);
+  return "[" + std::string(static_cast<size_t>(filled), '#') +
+         std::string(static_cast<size_t>(10 - filled), '-') + "]";
+}
+
+// `bcastctl top`: renders a telemetry stream — live (point --replay at the
+// file a running --telemetry-out command is appending to) or post-mortem —
+// as a dashboard: one sparkline row per series, SLO burn/budget bars, the
+// degradation-rung tally, and the stream's fin totals.
+Status CmdTop(const FlagMap& flags, std::ostringstream* os) {
+  auto replay = flags.Get("replay");
+  if (!replay.has_value()) {
+    return InvalidArgumentError(
+        "--replay <file.jsonl> is required (start a run with "
+        "--telemetry-out and point --replay at that file, even mid-run)");
+  }
+  auto window = flags.GetInt("window", 32);
+  if (!window.ok()) return window.status();
+  if (*window < 2) return InvalidArgumentError("--window must be >= 2");
+  const size_t win = static_cast<size_t>(*window);
+  auto records = obs::ReadTelemetryFile(*replay);
+  if (!records.ok()) return records.status();
+
+  const obs::TelemetryRecord* meta = nullptr;
+  const obs::TelemetryRecord* fin = nullptr;
+  for (const obs::TelemetryRecord& record : *records) {
+    if (record.type == obs::TelemetryRecord::Type::kMeta && meta == nullptr) {
+      meta = &record;
+    } else if (record.type == obs::TelemetryRecord::Type::kFin) {
+      fin = &record;
+    }
+  }
+
+  // Replay the stream through the same engine the writer ran: rebuild the
+  // ring-buffer series tick by tick and re-evaluate the meta record's SLO
+  // specs, so burn/budget here match the alert records exactly.
+  std::vector<obs::SloSpec> specs;
+  if (meta != nullptr) {
+    for (const std::string& text : meta->slos) {
+      auto spec = obs::ParseSloSpec(text);
+      if (!spec.ok()) return spec.status();
+      specs.push_back(std::move(spec).value());
+    }
+  }
+  obs::SloEngine engine(std::move(specs));
+  obs::SeriesSet series;
+  uint64_t ticks = 0;
+  for (const obs::TelemetryRecord& record : *records) {
+    if (record.type != obs::TelemetryRecord::Type::kTick) continue;
+    for (const auto& [name, value] : record.values) {
+      series.GetOrCreate(name)->Append(record.index, value);
+    }
+    engine.Tick(record.index, series, nullptr);
+    ++ticks;
+  }
+
+  *os << "telemetry         : " << *replay;
+  if (meta != nullptr) {
+    if (auto it = meta->meta.find("source"); it != meta->meta.end()) {
+      *os << " (source " << it->second << ")";
+    }
+  }
+  *os << "\n";
+  *os << "ticks             : " << ticks << ", window " << win << "\n";
+
+  size_t name_width = 0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    name_width = std::max(name_width, series.at(i).name().size());
+  }
+  for (size_t i = 0; i < series.size(); ++i) {
+    const obs::Series& s = series.at(i);
+    char row[128];
+    std::snprintf(row, sizeof(row), "  %-*s last %11.5g mean %11.5g max %11.5g  ",
+                  static_cast<int>(name_width), s.name().c_str(), s.Last(),
+                  s.WindowMean(win), s.WindowMax(win));
+    *os << row << Sparkline(s, win) << "\n";
+  }
+
+  if (!engine.specs().empty()) {
+    *os << "slos:\n";
+    for (size_t i = 0; i < engine.specs().size(); ++i) {
+      const obs::SloSpec& spec = engine.specs()[i];
+      const obs::SloState& state = engine.states()[i];
+      char row[160];
+      std::snprintf(row, sizeof(row),
+                    "  %s %s burn %.3g budget %s %.1f%% (%llu/%llu bad)",
+                    spec.name.c_str(), state.firing ? "FIRING " : "ok     ",
+                    state.burn_rate, BudgetBar(state.budget_consumed).c_str(),
+                    100.0 * state.budget_consumed,
+                    static_cast<unsigned long long>(state.bad_ticks),
+                    static_cast<unsigned long long>(state.ticks));
+      *os << row << "\n";
+    }
+  }
+
+  // Degradation rungs, when the stream carries the adaptive server's
+  // sim.served_rung series (0 exact, 1 anytime, 2 heuristic, 3 stale).
+  if (const obs::Series* rung = series.Find("sim.served_rung");
+      rung != nullptr) {
+    uint64_t counts[4] = {0, 0, 0, 0};
+    for (size_t i = 0; i < rung->size(); ++i) {
+      const double v = rung->At(i).value;
+      if (std::isnan(v)) continue;
+      counts[std::clamp(static_cast<int>(v), 0, 3)] += 1;
+    }
+    *os << "rungs             : exact " << counts[0] << ", anytime "
+        << counts[1] << ", heuristic " << counts[2] << ", stale " << counts[3]
+        << " (retained ticks)\n";
+  }
+
+  if (fin != nullptr) {
+    *os << "stream            : finished, " << fin->ticks << " tick(s), "
+        << fin->alerts << " alert(s), " << fin->dropped << " dropped";
+    if (auto it = fin->meta.find("outcome"); it != fin->meta.end()) {
+      *os << ", outcome " << it->second;
+    }
+    *os << "\n";
+  } else {
+    *os << "stream            : in flight (no fin record yet)\n";
+  }
   return Status::Ok();
 }
 
@@ -787,8 +1160,11 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
   // flags nothing is installed and the instrumentation stays a no-op.
   auto metrics_out = flags->Get("metrics-out");
   auto trace_out = flags->Get("trace-out");
-  const bool want_obs =
-      metrics_out.has_value() || trace_out.has_value() || args[0] == "stats";
+  auto telemetry_out = flags->Get("telemetry-out");
+  // --telemetry-out forces the registry on: the stream's counter-delta and
+  // histogram-window series only flow when instrumentation is recording.
+  const bool want_obs = metrics_out.has_value() || trace_out.has_value() ||
+                        telemetry_out.has_value() || args[0] == "stats";
   std::optional<obs::Registry> registry;
   std::optional<obs::TraceRecorder> recorder;
   std::optional<obs::ScopedObservability> scope;
@@ -805,16 +1181,67 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     registry->SetMeta("args", joined);
   }
 
-  // Set when a budgeted plan was served degraded (anytime incumbent or
-  // heuristic fallback): the command still succeeds, but exits 3 so scripts
-  // can tell a degraded serve from the exact optimum.
+  // Every report path is probed before dispatch: a misspelled destination
+  // is a startup error — exit 1, nothing half-run.
+  for (const auto& path : {metrics_out, trace_out}) {
+    if (path.has_value()) {
+      Status probe = ProbeWritable(*path);
+      if (!probe.ok()) {
+        *out = "error: " + probe.ToString() + "\n";
+        return 1;
+      }
+    }
+  }
+
+  // Telemetry stream setup: the sink opens (and the SLO specs parse) before
+  // dispatch, so a bad path or spec is a startup error — exit 1, nothing
+  // half-run. Commands that cannot stream reject a non-null sink themselves.
+  TelemetryParams telemetry;
+  std::optional<obs::JsonlFileSink> telemetry_sink;
+  if (auto slo = flags->Get("slo");
+      slo.has_value() && !telemetry_out.has_value()) {
+    *out = "error: --slo requires --telemetry-out (SLO verdicts ride the "
+           "telemetry stream)\n";
+    return 1;
+  }
+  if (telemetry_out.has_value()) {
+    if (args[0] != "simulate" && args[0] != "popsim") {
+      *out = "error: --telemetry-out is only supported by `simulate "
+             "--cycles` and `popsim`\n";
+      return 1;
+    }
+    if (auto slo = flags->Get("slo"); slo.has_value()) {
+      auto specs = obs::ParseSloSpecList(*slo);
+      if (!specs.ok()) {
+        *out = "error: " + specs.status().ToString() + "\n";
+        return 1;
+      }
+      telemetry.slos = std::move(specs).value();
+    }
+    auto sink = obs::JsonlFileSink::Open(*telemetry_out);
+    if (!sink.ok()) {
+      *out = "error: " + sink.status().ToString() + "\n";
+      return 1;
+    }
+    telemetry_sink.emplace(std::move(sink).value());
+    telemetry.sink = &*telemetry_sink;
+    telemetry.registry = &*registry;
+    telemetry.path = *telemetry_out;
+  }
+
+  // Set when a budgeted plan was served degraded (anytime incumbent,
+  // heuristic fallback, or the adaptive server's stale/backoff ladder): the
+  // command still succeeds, but exits 3 so scripts can tell a degraded serve
+  // from the exact optimum.
   bool degraded = false;
   if (args[0] == "plan") {
     status = CmdPlan(*flags, &os, &degraded);
   } else if (args[0] == "simulate") {
-    status = CmdSimulate(*flags, &os, &degraded);
+    status = CmdSimulate(*flags, &os, &degraded, telemetry);
   } else if (args[0] == "popsim") {
-    status = CmdPopSim(*flags, &os, &degraded);
+    status = CmdPopSim(*flags, &os, &degraded, telemetry);
+  } else if (args[0] == "top") {
+    status = CmdTop(*flags, &os);
   } else if (args[0] == "eval") {
     status = CmdEval(*flags, &os);
   } else if (args[0] == "verify") {

@@ -31,6 +31,10 @@ into structured, per-line static rules over ``src/``:
   raw-thread       ``std::thread``/``std::async`` only inside src/exec/ —
                    all other code parallelizes through the work-stealing
                    ThreadPool so determinism and draining stay centralized.
+  telemetry-sink   No direct file writes (``std::ofstream``, ``fopen``,
+                   ``fwrite``, ...) inside src/sim/ or src/popsim/: engines
+                   emit through an injected obs::TelemetrySink so output can
+                   never block a hot path, and drops stay accounted.
 
 Suppressions: append ``// bcast-lint: allow(<rule>)`` to the offending line,
 or place it alone on the line above. Every suppression should carry a
@@ -58,6 +62,7 @@ RULE_NAMES = (
     "rng-substreams",
     "hot-path-alloc",
     "raw-thread",
+    "telemetry-sink",
 )
 
 
@@ -395,12 +400,36 @@ def rule_raw_thread(path, raw, scrubbed):
     yield from _token_findings(path, scrubbed, "raw-thread", _THREAD_TOKENS)
 
 
+_TELEMETRY_SINK_TOKENS = (
+    (r"\bstd::o?fstream\b", "std::ofstream/std::fstream — simulation engines "
+     "must emit through an injected obs::TelemetrySink (obs/stream.h), not "
+     "write files directly"),
+    (r"\bfopen\s*\(", "fopen — emit through an injected obs::TelemetrySink"),
+    (r"\bfreopen\s*\(", "freopen — emit through an injected "
+     "obs::TelemetrySink"),
+    (r"\bfwrite\s*\(", "fwrite — emit through an injected obs::TelemetrySink"),
+    (r"\bfputs\s*\(", "fputs — emit through an injected obs::TelemetrySink"),
+    (r"\bfprintf\s*\(", "fprintf — emit through an injected "
+     "obs::TelemetrySink"),
+    (r"#\s*include\s*<fstream>", "<fstream> include — simulation engines "
+     "emit through obs/stream.h sinks, not file streams"),
+)
+
+
+def rule_telemetry_sink(path, raw, scrubbed):
+    if not (_in(path, "src/sim/") or _in(path, "src/popsim/")):
+        return
+    yield from _token_findings(path, scrubbed, "telemetry-sink",
+                               _TELEMETRY_SINK_TOKENS)
+
+
 RULES = {
     "determinism": rule_determinism,
     "clock-discipline": rule_clock_discipline,
     "rng-substreams": rule_rng_substreams,
     "hot-path-alloc": rule_hot_path_alloc,
     "raw-thread": rule_raw_thread,
+    "telemetry-sink": rule_telemetry_sink,
 }
 assert tuple(RULES) == RULE_NAMES
 

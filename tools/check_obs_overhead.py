@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
-"""Enforces the observability overhead budget on bench_micro.
+"""Enforces the observability overhead budget on the benches.
 
-Compares two google-benchmark JSON reports of the same binary — one run with
-the metrics registry disabled (baseline) and one with `--obs` (a live
-registry + trace recorder installed for the whole run) — and fails when the
-geometric-mean slowdown across the shared benchmarks exceeds the budget.
+Compares two JSON reports of the same binary — one run with instrumentation
+disabled (baseline) and one with it enabled (`--obs` on bench_micro,
+`--telemetry` on bench_population_sim) — and fails when the geometric-mean
+slowdown across the shared benchmarks exceeds the budget.
 
-The geometric mean is the right aggregate here: individual microbenchmarks
-jitter by several percent on shared CI runners, but the jitter is symmetric,
-so it cancels across the suite while a systematic instrumentation cost does
-not.
+Two report formats are auto-detected per file:
+  * google-benchmark ("benchmarks": [...]) — bench_micro; times are
+    real_time, aggregate rows are skipped;
+  * population-sim ("instances": [...]) — bench_population_sim --json;
+    each instance x thread-grid cell becomes one benchmark named
+    "<instance>/threads=<n>" timed by its wall-clock seconds.
+
+The geometric mean is the right aggregate here: individual benchmarks jitter
+by several percent on shared CI runners, but the jitter is symmetric, so it
+cancels across the suite while a systematic instrumentation cost does not.
 
 Usage:
   check_obs_overhead.py baseline.json with_obs.json [--max-overhead 0.05]
@@ -34,10 +40,22 @@ def load_times(path):
               file=sys.stderr)
         sys.exit(2)
     if not isinstance(report, dict):
-        print(f"check_obs_overhead: {path} is not a google-benchmark report",
+        print(f"check_obs_overhead: {path} is not a benchmark report",
               file=sys.stderr)
         sys.exit(2)
     times = {}
+    if "instances" in report:
+        # bench_population_sim --json: instances[].runs[] cells.
+        for instance in report.get("instances", []):
+            for cell in instance.get("runs", []):
+                try:
+                    name = f"{instance['name']}/threads={cell['threads']}"
+                    times[name] = float(cell["seconds"])
+                except (KeyError, TypeError, ValueError) as error:
+                    print(f"check_obs_overhead: malformed benchmark record "
+                          f"in {path}: {error}", file=sys.stderr)
+                    sys.exit(2)
+        return times
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
@@ -52,8 +70,10 @@ def load_times(path):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="bench_micro JSON without --obs")
-    parser.add_argument("with_obs", help="bench_micro JSON with --obs")
+    parser.add_argument("baseline",
+                        help="bench JSON without instrumentation")
+    parser.add_argument("with_obs",
+                        help="bench JSON with --obs / --telemetry")
     parser.add_argument("--max-overhead", type=float, default=0.05,
                         help="allowed geomean slowdown (default 0.05 = 5%%)")
     args = parser.parse_args()

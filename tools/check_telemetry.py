@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""check_telemetry: validator for bcastctl telemetry JSONL streams.
+
+Checks the stream against the schema in docs/FORMATS.md ("Telemetry stream
+JSONL", version 1):
+
+  * every line is a self-contained JSON object with ``"v": 1`` and a known
+    record type ``"t"`` (meta / tick / alert / fin);
+  * the stream starts with exactly one meta record and ends with exactly one
+    fin record (a missing fin means the writer died mid-run);
+  * tick indices are strictly increasing — logical ordinals (cycle, shard),
+    never wall clock, so any regression or repeat is a writer bug;
+  * every tick's ``series`` map holds numbers or null (null = NaN: "no
+    observation this tick");
+  * alert records carry slo/series/state and reference an SLO declared in
+    the meta record;
+  * the fin record's totals match the stream (ticks, alerts) and its drop
+    count is zero unless ``--allow-drops`` raises the budget.
+
+``--expect-alert`` additionally requires at least one firing alert — the CI
+soak job uses it to prove the SLO engine actually exercised.
+
+Exit codes: 0 valid, 1 validation failure, 2 usage/IO error.
+
+Usage:
+  check_telemetry.py run.jsonl [--expect-alert] [--allow-drops N]
+                     [--source NAME]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+RECORD_TYPES = ("meta", "tick", "alert", "fin")
+
+
+def fail(lineno, message):
+    print(f"check_telemetry: line {lineno}: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(path, expect_alert=False, allow_drops=0, source=None):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as error:
+        print(f"check_telemetry: cannot read {path}: {error}",
+              file=sys.stderr)
+        return 2
+
+    meta = None
+    fin = None
+    ticks = 0
+    alerts = 0
+    firing_alerts = 0
+    last_tick_index = None
+    declared_slos = set()
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if fin is not None:
+            return fail(lineno, "record after the fin record — fin must be "
+                        "the last line of the stream")
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            return fail(lineno, f"not valid JSON: {error}")
+        if not isinstance(record, dict):
+            return fail(lineno, "line is not a JSON object")
+        if record.get("v") != SCHEMA_VERSION:
+            return fail(lineno, f"schema version {record.get('v')!r} "
+                        f"(expected {SCHEMA_VERSION})")
+        rtype = record.get("t")
+        if rtype not in RECORD_TYPES:
+            return fail(lineno, f"unknown record type {rtype!r}")
+
+        if rtype == "meta":
+            if meta is not None:
+                return fail(lineno, "second meta record — a stream has "
+                            "exactly one, on its first line")
+            meta = record
+            slos = record.get("slos", [])
+            if not isinstance(slos, list) or any(
+                    not isinstance(s, str) for s in slos):
+                return fail(lineno, "'slos' must be a list of spec strings")
+            declared_slos = {s.split(":", 1)[0] for s in slos}
+            if source is not None and record.get("source") != source:
+                return fail(lineno, f"source {record.get('source')!r} "
+                            f"(expected {source!r})")
+            continue
+
+        if meta is None:
+            return fail(lineno, f"{rtype} record before the meta record — "
+                        "meta must be the first line of the stream")
+
+        if rtype == "tick":
+            index = record.get("i")
+            if not isinstance(index, int) or index < 0:
+                return fail(lineno, f"tick index {index!r} is not a "
+                            "non-negative integer")
+            if last_tick_index is not None and index <= last_tick_index:
+                return fail(lineno, f"tick index {index} after "
+                            f"{last_tick_index} — indices are logical "
+                            "ordinals and must be strictly increasing")
+            last_tick_index = index
+            series = record.get("series")
+            if not isinstance(series, dict) or not series:
+                return fail(lineno, "tick has no 'series' object")
+            for name, value in series.items():
+                if value is not None and not isinstance(value, (int, float)):
+                    return fail(lineno, f"series {name!r} value {value!r} is "
+                                "neither a number nor null")
+            ticks += 1
+        elif rtype == "alert":
+            for key in ("slo", "series", "state"):
+                if not isinstance(record.get(key), str):
+                    return fail(lineno, f"alert is missing string {key!r}")
+            if record["state"] not in ("firing", "resolved"):
+                return fail(lineno, f"alert state {record['state']!r} "
+                            "(expected firing or resolved)")
+            if declared_slos and record["slo"] not in declared_slos:
+                return fail(lineno, f"alert for undeclared SLO "
+                            f"{record['slo']!r} (meta declares "
+                            f"{sorted(declared_slos)})")
+            if record["state"] == "firing":
+                firing_alerts += 1
+            alerts += 1
+        else:  # fin
+            fin = record
+            for key in ("ticks", "alerts", "dropped"):
+                if not isinstance(record.get(key), int):
+                    return fail(lineno, f"fin is missing integer {key!r}")
+            if record["ticks"] != ticks:
+                return fail(lineno, f"fin claims {record['ticks']} tick(s), "
+                            f"stream has {ticks}")
+            if record["alerts"] != alerts:
+                return fail(lineno, f"fin claims {record['alerts']} "
+                            f"alert(s), stream has {alerts}")
+            if record["dropped"] > allow_drops:
+                return fail(lineno, f"{record['dropped']} dropped record(s) "
+                            f"(budget {allow_drops}) — the sink was poisoned "
+                            "mid-run")
+
+    if meta is None:
+        print("check_telemetry: stream has no meta record", file=sys.stderr)
+        return 1
+    if fin is None:
+        print("check_telemetry: stream has no fin record — the writer died "
+              "mid-run (fin is written on every exit path, including "
+              "errors)", file=sys.stderr)
+        return 1
+    if expect_alert and firing_alerts == 0:
+        print("check_telemetry: --expect-alert: no firing alert in the "
+              "stream", file=sys.stderr)
+        return 1
+
+    outcome = fin.get("outcome", "?")
+    print(f"check_telemetry: {path}: OK — {ticks} tick(s), {alerts} "
+          f"alert(s) ({firing_alerts} firing), {fin['dropped']} dropped, "
+          f"outcome {outcome}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="validate a bcastctl telemetry JSONL stream")
+    parser.add_argument("stream", help="telemetry JSONL file to validate")
+    parser.add_argument("--expect-alert", action="store_true",
+                        help="require at least one firing SLO alert")
+    parser.add_argument("--allow-drops", type=int, default=0,
+                        help="tolerated dropped-record count (default 0)")
+    parser.add_argument("--source", default=None,
+                        help="require the meta record's source to match")
+    args = parser.parse_args(argv)
+    if args.allow_drops < 0:
+        print("check_telemetry: --allow-drops must be >= 0", file=sys.stderr)
+        return 2
+    return validate(args.stream, expect_alert=args.expect_alert,
+                    allow_drops=args.allow_drops, source=args.source)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
