@@ -2,7 +2,10 @@
 // src/exec/parallel_search.h against the single-threaded engine, on a
 // threads x instance-size grid of Table-1-class inputs (full balanced m-ary
 // index trees, uniform random data weights, k = 2/3 channels — the regime
-// where the exact search is affordable but not trivial).
+// where the exact search is affordable but not trivial) plus deep skewed
+// random families, the largest of which (deep18) drives >= 10^6 expansions
+// so the 8-thread cells measure real contention on the concurrent state
+// store rather than task spawn overhead.
 //
 // For every cell the benchmark verifies the parallel allocation is
 // byte-identical to TopoTreeSearch::FindOptimalDfs before timing counts;
@@ -10,14 +13,25 @@
 // the whole point of the engine.
 //
 // Usage: bench_parallel_search [--json[=path]] [--repeats N]
-//   --json     additionally writes the machine-readable report (schema in
-//              docs/FORMATS.md) to BENCH_parallel_search.json or `path`.
+//                              [--threads LIST] [--batch-factor N]
+//   --json          additionally writes the machine-readable report (schema
+//                   in docs/FORMATS.md) to BENCH_parallel_search.json or
+//                   `path`.
+//   --threads LIST  comma-separated thread cells (default 1,2,4,8). 1 is
+//                   always included — it is the speedup_vs_1 baseline.
+//   --batch-factor  override ParallelSearchOptions::batch_factor for every
+//                   cell (tuning sweeps); the value used is reported in the
+//                   JSON top level either way.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alloc/heuristics.h"
@@ -34,8 +48,6 @@ using bcast::AllocationResult;
 using bcast::IndexTree;
 using bcast::TopoTreeSearch;
 
-constexpr int kThreadGrid[] = {1, 2, 4, 8};
-
 struct RunCell {
   int threads = 0;
   double seconds = 0.0;
@@ -43,6 +55,13 @@ struct RunCell {
   double expansions_per_sec = 0.0;
   double speedup_vs_1 = 0.0;
   bool matches_single_threaded = false;
+  // Concurrent state-store accounting of the best-of-repeats run (see
+  // exec/state_store.h for the counter semantics).
+  uint64_t store_hits = 0;
+  uint64_t store_inserts = 0;
+  uint64_t store_dominated = 0;
+  uint64_t store_evictions = 0;
+  uint64_t store_cas_retries = 0;
 };
 
 struct InstanceReport {
@@ -69,6 +88,8 @@ double Seconds(std::chrono::steady_clock::time_point begin,
 
 bool RunInstance(const std::string& name, const IndexTree& tree, int fanout,
                  int depth, int channels, int repeats,
+                 const std::vector<int>& thread_grid,
+                 const bcast::ParallelSearchOptions& tuning,
                  std::vector<InstanceReport>* reports) {
   TopoTreeSearch::Options options;
   options.num_channels = channels;
@@ -126,14 +147,16 @@ bool RunInstance(const std::string& name, const IndexTree& tree, int fanout,
           : 0.0;
 
   double baseline_seconds = 0.0;
-  for (int threads : kThreadGrid) {
+  for (int threads : thread_grid) {
     RunCell cell;
     cell.threads = threads;
     cell.seconds = -1.0;
     cell.matches_single_threaded = true;
     for (int rep = 0; rep < repeats; ++rep) {
       auto begin = std::chrono::steady_clock::now();
-      auto parallel = bcast::FindOptimalTopoParallel(*search, threads);
+      auto parallel = bcast::FindOptimalTopoParallel(
+          *search, threads, std::numeric_limits<double>::infinity(),
+          /*budget=*/nullptr, &tuning);
       auto end = std::chrono::steady_clock::now();
       if (!parallel.ok()) {
         std::fprintf(stderr, "parallel(threads=%d): %s\n", threads,
@@ -148,6 +171,11 @@ bool RunInstance(const std::string& name, const IndexTree& tree, int fanout,
       if (cell.seconds < 0.0 || seconds < cell.seconds) {
         cell.seconds = seconds;  // best-of-repeats
         cell.nodes_expanded = parallel->stats.nodes_expanded;
+        cell.store_hits = parallel->stats.store_hits;
+        cell.store_inserts = parallel->stats.store_inserts;
+        cell.store_dominated = parallel->stats.store_dominated;
+        cell.store_evictions = parallel->stats.store_evictions;
+        cell.store_cas_retries = parallel->stats.store_cas_retries;
       }
     }
     cell.expansions_per_sec =
@@ -172,16 +200,18 @@ bool RunInstance(const std::string& name, const IndexTree& tree, int fanout,
 }
 
 void PrintTable(const std::vector<InstanceReport>& reports) {
-  std::printf("%-10s %6s %3s | %7s %9s %12s %14s %8s\n", "instance", "nodes",
-              "k", "threads", "time(s)", "expansions", "expansions/s",
-              "speedup");
+  std::printf("%-10s %6s %3s | %7s %9s %12s %14s %8s %10s %8s\n", "instance",
+              "nodes", "k", "threads", "time(s)", "expansions",
+              "expansions/s", "speedup", "store-ins", "cas-try");
   for (const InstanceReport& report : reports) {
     for (const RunCell& cell : report.runs) {
-      std::printf("%-10s %6d %3d | %7d %9.4f %12llu %14.0f %8.2f\n",
-                  report.name.c_str(), report.num_nodes, report.channels,
-                  cell.threads, cell.seconds,
-                  static_cast<unsigned long long>(cell.nodes_expanded),
-                  cell.expansions_per_sec, cell.speedup_vs_1);
+      std::printf(
+          "%-10s %6d %3d | %7d %9.4f %12llu %14.0f %8.2f %10llu %8llu\n",
+          report.name.c_str(), report.num_nodes, report.channels, cell.threads,
+          cell.seconds, static_cast<unsigned long long>(cell.nodes_expanded),
+          cell.expansions_per_sec, cell.speedup_vs_1,
+          static_cast<unsigned long long>(cell.store_inserts),
+          static_cast<unsigned long long>(cell.store_cas_retries));
     }
   }
   std::printf("\n%-10s | %18s %16s %10s\n", "instance", "dfs unseeded",
@@ -195,7 +225,7 @@ void PrintTable(const std::vector<InstanceReport>& reports) {
 }
 
 bool WriteJson(const std::string& path,
-               const std::vector<InstanceReport>& reports) {
+               const std::vector<InstanceReport>& reports, int batch_factor) {
   std::string text;
   bcast::obs::JsonWriter json(&text);
   json.BeginObject();
@@ -205,6 +235,14 @@ bool WriteJson(const std::string& path,
   // many unplaced elements the engine runs inline instead of spawning tasks.
   json.Key("min_parallel_subtree");
   json.UInt(bcast::ParallelSearchOptions{}.min_parallel_subtree);
+  // Sibling-batching granularity the grid was measured under.
+  json.Key("batch_factor");
+  json.Int(batch_factor);
+  // Hardware threads of the measuring host. The scaling gate
+  // (tools/check_search_regression.py) only enforces speedup_vs_1 cells the
+  // host could actually run in parallel.
+  json.Key("host_hardware_concurrency");
+  json.UInt(std::thread::hardware_concurrency());
   json.Key("instances");
   json.BeginArray();
   for (const InstanceReport& report : reports) {
@@ -243,6 +281,16 @@ bool WriteJson(const std::string& path,
       json.Double(cell.speedup_vs_1);
       json.Key("matches_single_threaded");
       json.Bool(cell.matches_single_threaded);
+      json.Key("store_hits");
+      json.UInt(cell.store_hits);
+      json.Key("store_inserts");
+      json.UInt(cell.store_inserts);
+      json.Key("store_dominated");
+      json.UInt(cell.store_dominated);
+      json.Key("store_evictions");
+      json.UInt(cell.store_evictions);
+      json.Key("store_cas_retries");
+      json.UInt(cell.store_cas_retries);
       json.EndObject();
     }
     json.EndArray();
@@ -259,12 +307,39 @@ bool WriteJson(const std::string& path,
   return true;
 }
 
+bool ParseThreadList(const char* text, std::vector<int>* grid) {
+  grid->clear();
+  std::string token;
+  for (const char* p = text;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      token += *p;
+      continue;
+    }
+    if (token.empty()) return false;
+    char* end = nullptr;
+    long threads = std::strtol(token.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || threads < 1 || threads > 1024) {
+      return false;
+    }
+    grid->push_back(static_cast<int>(threads));
+    token.clear();
+    if (*p == '\0') break;
+  }
+  // threads=1 is the speedup_vs_1 denominator — always measured, and first.
+  grid->push_back(1);
+  std::sort(grid->begin(), grid->end());
+  grid->erase(std::unique(grid->begin(), grid->end()), grid->end());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   std::string json_path = "BENCH_parallel_search.json";
   int repeats = 3;
+  std::vector<int> thread_grid = {1, 2, 4, 8};
+  bcast::ParallelSearchOptions tuning;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
@@ -274,9 +349,24 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
       repeats = std::atoi(argv[++i]);
       if (repeats < 1) repeats = 1;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!ParseThreadList(argv[++i], &thread_grid)) {
+        std::fprintf(stderr,
+                     "--threads expects a comma-separated list of positive "
+                     "thread counts, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--batch-factor") == 0 && i + 1 < argc) {
+      tuning.batch_factor = std::atoi(argv[++i]);
+      if (tuning.batch_factor < 1) {
+        std::fprintf(stderr, "--batch-factor must be >= 1\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: bench_parallel_search [--json[=path]] [--repeats N]\n");
+                   "usage: bench_parallel_search [--json[=path]] [--repeats N] "
+                   "[--threads LIST] [--batch-factor N]\n");
       return 2;
     }
   }
@@ -304,31 +394,39 @@ int main(int argc, char** argv) {
     name += std::to_string(depth);
     name += "_k";
     name += std::to_string(channels);
-    if (!RunInstance(name, *tree, fanout, depth, channels, repeats, &reports)) {
+    if (!RunInstance(name, *tree, fanout, depth, channels, repeats,
+                     thread_grid, tuning, &reports)) {
       return 1;
     }
   }
 
   // Skewed random families (depth 0 = not a balanced tree; fanout = max).
-  // rand13 is the deepest search of the suite (regression-gate ballast);
-  // rand11 is the instance family where the SortingHeuristic incumbent is
-  // near-optimal and the seeded DFS expands >= 2x fewer nodes.
+  // rand13 is the deepest search of the small suite (regression-gate
+  // ballast); rand11 is the instance family where the SortingHeuristic
+  // incumbent is near-optimal and the seeded DFS expands >= 2x fewer nodes;
+  // deep18 (max_fanout 2 — near-chain shape, the worst case for the bound)
+  // pushes the unseeded DFS past 10^6 expansions so the parallel cells are
+  // dominated by search work and store contention rather than task spawn
+  // overhead. deep18 is the instance the CI scaling gate
+  // (check_search_regression.py --require-speedup) reads.
   struct RandomFamily {
     uint64_t seed;
     int num_data;
+    int max_fanout;
     const char* prefix;
   };
-  const RandomFamily random_families[] = {{0xA110C, 13, "rand13"},
-                                          {3, 11, "rand11"}};
+  const RandomFamily random_families[] = {{0xA110C, 13, 3, "rand13"},
+                                          {3, 11, 3, "rand11"},
+                                          {2, 18, 2, "deep18"}};
   for (const RandomFamily& family : random_families) {
     for (int channels : {2, 3}) {
       bcast::Rng rng(family.seed);
       bcast::IndexTree tree =
-          bcast::MakeRandomTree(&rng, family.num_data, /*max_fanout=*/3);
+          bcast::MakeRandomTree(&rng, family.num_data, family.max_fanout);
       std::string name =
           std::string(family.prefix) + "_k" + std::to_string(channels);
-      if (!RunInstance(name, tree, /*fanout=*/3, /*depth=*/0, channels,
-                       repeats, &reports)) {
+      if (!RunInstance(name, tree, family.max_fanout, /*depth=*/0, channels,
+                       repeats, thread_grid, tuning, &reports)) {
         return 1;
       }
     }
@@ -336,7 +434,7 @@ int main(int argc, char** argv) {
 
   PrintTable(reports);
   if (json) {
-    if (!WriteJson(json_path, reports)) return 1;
+    if (!WriteJson(json_path, reports, tuning.batch_factor)) return 1;
     std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;

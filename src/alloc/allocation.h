@@ -64,6 +64,17 @@ struct SearchStats {
   uint64_t bound_cutoffs = 0;      // subtrees cut by the Lemma 1/2 lower bound
   uint64_t incumbent_updates = 0;  // times a new best allocation was adopted
   uint64_t dominance_skips = 0;    // best-first closed-set dominance skips
+  // Concurrent state-store accounting (parallel engine only; all zero for the
+  // sequential DFS). Mirrors exec/state_store.h StateStoreCounters: hits are
+  // visits skipped as dominated, inserts are states recorded, dominated are
+  // weaker entries replaced in place, evictions are states the store dropped
+  // without recording (capacity/arena/CAS-retry pressure — re-expanded, never
+  // wrong), cas_retries counts publication races that looped.
+  uint64_t store_hits = 0;
+  uint64_t store_inserts = 0;
+  uint64_t store_dominated = 0;
+  uint64_t store_evictions = 0;
+  uint64_t store_cas_retries = 0;
   PruneCounts pruned_by_rule;      // attribution of nodes_pruned (see above)
 
   SearchStats& operator+=(const SearchStats& other) {
@@ -74,6 +85,11 @@ struct SearchStats {
     bound_cutoffs += other.bound_cutoffs;
     incumbent_updates += other.incumbent_updates;
     dominance_skips += other.dominance_skips;
+    store_hits += other.store_hits;
+    store_inserts += other.store_inserts;
+    store_dominated += other.store_dominated;
+    store_evictions += other.store_evictions;
+    store_cas_retries += other.store_cas_retries;
     pruned_by_rule += other.pruned_by_rule;
     return *this;
   }

@@ -86,9 +86,11 @@ uint64_t TopoBnbProblem::SubtreeSizeHint(const BnbState& state) const {
 Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
                                                  int num_threads,
                                                  double seed_cost_v,
-                                                 const SearchBudget* budget) {
+                                                 const SearchBudget* budget,
+                                                 const ParallelSearchOptions* tuning) {
   TopoBnbProblem problem(search);
-  ParallelSearchOptions options;
+  ParallelSearchOptions options =
+      tuning != nullptr ? *tuning : ParallelSearchOptions{};
   options.num_threads = num_threads;
   options.max_expansions = search.options().max_expansions;
   options.initial_bound = seed_cost_v;
@@ -97,6 +99,13 @@ Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
     options.deadline_ns = budget->deadline_ns;
     options.clock = budget->clock;
     options.cancel = budget->cancel;
+  } else {
+    // The per-call budget owns these fields; never inherit them from tuning.
+    ParallelSearchOptions defaults;
+    options.soft_budget_expansions = defaults.soft_budget_expansions;
+    options.deadline_ns = defaults.deadline_ns;
+    options.clock = defaults.clock;
+    options.cancel = defaults.cancel;
   }
   auto parallel = RunParallelSearch(problem, options);
   if (!parallel.ok()) return parallel.status();
@@ -121,6 +130,11 @@ Result<AllocationResult> FindOptimalTopoParallel(const TopoTreeSearch& search,
   result.stats.paths_completed = parallel->stats.paths_completed;
   result.stats.bound_cutoffs = parallel->stats.bound_pruned;
   result.stats.incumbent_updates = parallel->stats.incumbent_updates;
+  result.stats.store_hits = parallel->stats.cache_hits;
+  result.stats.store_inserts = parallel->stats.cache_misses;
+  result.stats.store_dominated = parallel->stats.cache_evictions;
+  result.stats.store_evictions = parallel->stats.cache_dropped;
+  result.stats.store_cas_retries = parallel->stats.cache_cas_retries;
   result.stats.pruned_by_rule = problem.pruned_by_rule();
   EmitSearchStats("search.topo_parallel", result.stats);
   BCAST_DCHECK_OK(AllocationVerifier(tree)

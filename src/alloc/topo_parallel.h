@@ -84,10 +84,18 @@ class TopoBnbProblem : public BnbProblem {
 /// deterministic expansion-budget contract belongs to the sequential DFS
 /// (FindOptimalAllocation routes it there). Use this path for wall-clock
 /// deadlines and cancellation, where real time already broke determinism.
+///
+/// `tuning` (optional) seeds the engine's performance knobs — batch_factor,
+/// spawn_depth, min_parallel_subtree, store_capacity/arena/CAS-retry — from
+/// the given options before the per-call fields above (num_threads,
+/// max_expansions, incumbent seed, budget) are applied on top. Tuning knobs
+/// never change the returned slots/ADW, only the schedule and the counters;
+/// bench_parallel_search uses this to sweep batch granularity.
 Result<AllocationResult> FindOptimalTopoParallel(
     const TopoTreeSearch& search, int num_threads,
     double seed_cost_v = std::numeric_limits<double>::infinity(),
-    const SearchBudget* budget = nullptr);
+    const SearchBudget* budget = nullptr,
+    const ParallelSearchOptions* tuning = nullptr);
 
 }  // namespace bcast
 

@@ -7,9 +7,9 @@
 #include <limits>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 
+#include "exec/state_store.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -58,105 +58,25 @@ bool PathLexLess(const BnbProblem& problem, const std::vector<uint64_t>& a,
   return a.size() < b.size();
 }
 
-size_t RoundUpPow2(size_t n) {
-  size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
+// Paths (and hence inline prefixes) on every committed problem family are
+// far shorter than this; reserving it once per search makes the incumbent
+// record and the root prefix allocation-free for the rest of the run.
+constexpr size_t kPathReserve = 64;
+
+// Auto store sizing from the root SubtreeSizeHint (conventionally the number
+// of still-unplaced elements, so the reachable state count is exponential in
+// it): 2^(hint+4) cells keeps the table load factor low across the bench
+// grid, clamped to [2^12, 2^21]. Unknown hints (the BnbProblem default is
+// "huge") get 2^18 — big enough for ~10^5-state searches, small enough that
+// the reserved arena stays modest.
+size_t AutoStoreCapacity(uint64_t root_hint) {
+  if (root_hint == std::numeric_limits<uint64_t>::max()) {
+    return size_t{1} << 18;
+  }
+  if (root_hint >= 17) return size_t{1} << 21;
+  const uint64_t shift = root_hint + 4 < 12 ? 12 : root_hint + 4;
+  return size_t{1} << shift;
 }
-
-// ---------------------------------------------------------------------------
-// Sharded transposition cache.
-//
-// Key: allocated-node bitmask (shard + bucket); entries additionally carry
-// last_set because with the Appendix pruning the successor set depends on the
-// previous compound node, not the mask alone. An entry dominates a candidate
-// state when it reaches the same (mask, last_set) no later and either
-// strictly cheaper or equally cheap through a canonically smaller prefix —
-// exactly the condition under which every completion of the candidate is
-// beaten (or out-tie-broken) by a completion of the entry, so skipping the
-// candidate cannot change the deterministic result.
-// ---------------------------------------------------------------------------
-
-class TranspositionCache {
- public:
-  TranspositionCache(const BnbProblem& problem, size_t num_shards)
-      : problem_(problem), shards_(RoundUpPow2(num_shards)) {}
-
-  /// True if `state` is dominated by a memoized state (skip it); otherwise
-  /// records `state` (evicting entries it dominates) and returns false.
-  bool CheckDominatedOrInsert(const BnbState& state,
-                              const std::vector<uint64_t>& prefix) {
-    Shard& shard = shards_[ShardIndex(state.mask)];
-    MutexLock lock(&shard.mutex);
-    std::vector<Entry>& entries = shard.states[state.mask];
-    for (const Entry& entry : entries) {
-      if (entry.last_set != state.last_set || entry.depth > state.depth) {
-        continue;
-      }
-      if (entry.v < state.v ||
-          (entry.v == state.v && PathLexLess(problem_, entry.prefix, prefix))) {
-        return true;
-      }
-    }
-    // The new state survives; drop entries it dominates by the same rule so
-    // each (mask, last_set) keeps only its Pareto frontier.
-    const size_t before = entries.size();
-    std::erase_if(entries, [&](const Entry& entry) {
-      return entry.last_set == state.last_set && state.depth <= entry.depth &&
-             (state.v < entry.v ||
-              (state.v == entry.v && PathLexLess(problem_, prefix, entry.prefix)));
-    });
-    evictions_.fetch_add(before - entries.size(), std::memory_order_relaxed);
-    entries.push_back(Entry{state.last_set, state.depth, state.v, prefix});
-    inserts_.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
-
-  uint64_t insert_count() const {
-    return inserts_.load(std::memory_order_relaxed);
-  }
-  uint64_t eviction_count() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
-
-  uint64_t TotalEntries() const {
-    uint64_t total = 0;
-    for (const Shard& shard : shards_) {
-      MutexLock lock(&shard.mutex);
-      // Unordered iteration feeds a commutative sum only, never an ordered
-      // output — safe by commutativity, invisible to the lint's heuristic.
-      // bcast-lint: allow(determinism)
-      for (const auto& [mask, entries] : shard.states) {
-        total += entries.size();
-      }
-    }
-    return total;
-  }
-
- private:
-  struct Entry {
-    uint64_t last_set;
-    int depth;
-    double v;
-    std::vector<uint64_t> prefix;
-  };
-  struct Shard {
-    mutable Mutex mutex;
-    std::unordered_map<uint64_t, std::vector<Entry>> states
-        BCAST_GUARDED_BY(mutex);
-  };
-
-  size_t ShardIndex(uint64_t mask) const {
-    // Fibonacci hash; shards_.size() is a power of two.
-    return static_cast<size_t>((mask * 0x9E3779B97F4A7C15ull) >> 32) &
-           (shards_.size() - 1);
-  }
-
-  const BnbProblem& problem_;
-  std::vector<Shard> shards_;
-  std::atomic<uint64_t> inserts_{0};
-  std::atomic<uint64_t> evictions_{0};
-};
 
 // ---------------------------------------------------------------------------
 // Engine
@@ -175,23 +95,44 @@ class Engine {
             std::numeric_limits<double>::infinity())),
         // A finite initial_bound pre-tightens the shared word; +inf packs to
         // +inf (its low 16 bits are zero), i.e. the unseeded behavior.
-        incumbent_(PackCostCeiling(options.initial_bound)),
-        cache_(options.cache_shards > 0
-                   ? std::make_unique<TranspositionCache>(
-                         problem, static_cast<size_t>(options.cache_shards))
-                   : nullptr) {}
+        incumbent_(PackCostCeiling(options.initial_bound)) {
+    // cache_shards is a deprecated no-op except for its historical "0
+    // disables memoization" meaning, which scripts rely on.
+    if (options.cache_shards != 0) {
+      StateStoreOptions store_options;
+      store_options.capacity =
+          options.store_capacity > 0
+              ? options.store_capacity
+              : AutoStoreCapacity(problem.SubtreeSizeHint(problem.Root()));
+      store_options.arena_bytes = options.store_arena_bytes;
+      store_options.max_cas_retries = options.store_max_cas_retries;
+      store_ = std::make_unique<ConcurrentStateStore>(problem, store_options);
+    }
+    best_path_.reserve(kPathReserve);
+  }
 
   Result<ParallelSearchResult> Run() {
     if (options_.deadline_ns > 0) {
       deadline_abs_ns_ = clock_->NowNanos() + options_.deadline_ns;
     }
-    {
+    if (num_threads_ == 1) {
+      // Inline mode: no pool, no tasks (group_ stays null so Visit never
+      // spawns), the whole search runs on the calling thread. Besides
+      // skipping pool spin-up, this keeps the calling thread's scratch
+      // arenas warm across runs — the property the counting-allocator test
+      // (tests/alloc_free_search_test.cc) measures.
+      const BnbState root = problem_.Root();
+      std::vector<uint64_t> prefix;
+      prefix.reserve(kPathReserve);
+      Visit(root, &prefix, 0);
+    } else {
       ThreadPool pool(num_threads_);
       TaskGroup group(&pool, options_.cancel);
       group_ = &group;
       BnbState root = problem_.Root();
       group.Run([this, root] {
         std::vector<uint64_t> prefix;
+        prefix.reserve(kPathReserve);
         Visit(root, &prefix, 0);
       });
       Status pool_status = group.Wait();
@@ -240,11 +181,17 @@ class Engine {
     result.stats.nodes_expanded = expanded_.load(std::memory_order_relaxed);
     result.stats.paths_completed = completed_.load(std::memory_order_relaxed);
     result.stats.bound_pruned = bound_pruned_.load(std::memory_order_relaxed);
-    result.stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-    // Every survivor of the dominance check was inserted, so inserts = misses.
-    result.stats.cache_misses = cache_ ? cache_->insert_count() : 0;
-    result.stats.cache_evictions = cache_ ? cache_->eviction_count() : 0;
-    result.stats.cache_entries = cache_ ? cache_->TotalEntries() : 0;
+    if (store_ != nullptr) {
+      const StateStoreCounters counters = store_->Counters();
+      result.stats.cache_hits = counters.hits;
+      // Every survivor of the dominance check was recorded, so inserts =
+      // misses; `dominated` counts the entries those inserts replaced.
+      result.stats.cache_misses = counters.inserts;
+      result.stats.cache_evictions = counters.dominated;
+      result.stats.cache_dropped = counters.evictions;
+      result.stats.cache_cas_retries = counters.cas_retries;
+      result.stats.cache_entries = counters.entries;
+    }
     result.stats.incumbent_updates =
         incumbent_updates_.load(std::memory_order_relaxed);
     result.stats.threads_used = num_threads_;
@@ -255,7 +202,8 @@ class Engine {
  private:
   // Run-varying engine telemetry (documented as such in docs/FORMATS.md —
   // steal timing makes these legitimately differ run to run, unlike the
-  // deterministic "pruning.*" breakdown).
+  // deterministic "pruning.*" breakdown). The search.store.* family mirrors
+  // StateStoreCounters for bcastctl stats / telemetry.
   static void EmitStats(const ParallelSearchStats& stats) {
     obs::Registry* registry = obs::GlobalMetrics();
     if (registry == nullptr) return;
@@ -265,11 +213,13 @@ class Engine {
     add("search.parallel.nodes_expanded", stats.nodes_expanded);
     add("search.parallel.paths_completed", stats.paths_completed);
     add("search.parallel.bound_pruned", stats.bound_pruned);
-    add("search.parallel.cache.hits", stats.cache_hits);
-    add("search.parallel.cache.misses", stats.cache_misses);
-    add("search.parallel.cache.evictions", stats.cache_evictions);
-    add("search.parallel.cache.entries", stats.cache_entries);
     add("search.parallel.incumbent_updates", stats.incumbent_updates);
+    add("search.store.hits", stats.cache_hits);
+    add("search.store.inserts", stats.cache_misses);
+    add("search.store.dominated", stats.cache_evictions);
+    add("search.store.evictions", stats.cache_dropped);
+    add("search.store.cas_retries", stats.cache_cas_retries);
+    add("search.store.entries", stats.cache_entries);
     registry->GetGauge("search.parallel.threads_used")
         .Set(stats.threads_used);
   }
@@ -317,13 +267,47 @@ class Engine {
       bound_pruned_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    if (cache_ != nullptr && cache_->CheckDominatedOrInsert(state, *prefix)) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (store_ != nullptr && store_->CheckDominatedOrInsert(state, *prefix)) {
       return;
     }
 
     std::vector<uint64_t>& subsets = *LevelScratch(level);
     problem_.Expand(state, &subsets);
+
+    // Sequential cutoff: subtrees the problem reports as small run inline
+    // regardless of depth — a stealable task would cost more than the
+    // subtree itself (result unchanged; the engine is schedule-invariant).
+    const bool spawn_children =
+        group_ != nullptr && state.depth < options_.spawn_depth &&
+        problem_.SubtreeSizeHint(state) >= options_.min_parallel_subtree;
+    if (spawn_children) {
+      // Shallow: children become stealable tasks, `batch_factor` canonical-
+      // order siblings per task. The task re-derives each child and checks
+      // the incumbent bound at execution time — by then the bound is usually
+      // tighter than it was here. The prefix copy is tiny (< spawn_depth).
+      const size_t batch =
+          options_.batch_factor > 0
+              ? static_cast<size_t>(options_.batch_factor)
+              : 1;
+      for (size_t begin = 0; begin < subsets.size(); begin += batch) {
+        if (aborted_.load(std::memory_order_relaxed)) return;
+        if (stopped_.load(std::memory_order_relaxed)) {
+          // Mid-loop stop: the un-spawned children are all reached through
+          // `state`, so folding the parent's estimate once covers them.
+          FoldFrontier(problem_.Estimate(state));
+          return;
+        }
+        const size_t end = std::min(begin + batch, subsets.size());
+        std::vector<uint64_t> slice(subsets.begin() + begin,
+                                    subsets.begin() + end);
+        group_->Run([this, state, slice = std::move(slice),
+                     parent_prefix = *prefix]() mutable {
+          VisitSiblings(state, slice, &parent_prefix);
+        });
+      }
+      return;
+    }
+
     for (size_t i = 0; i < subsets.size(); ++i) {
       const uint64_t subset = subsets[i];
       if (aborted_.load(std::memory_order_relaxed)) return;
@@ -338,26 +322,33 @@ class Engine {
         bound_pruned_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      // Sequential cutoff: subtrees the problem reports as small run inline
-      // regardless of depth — a stealable task would cost more than the
-      // subtree itself (result unchanged; the engine is schedule-invariant).
-      if (state.depth < options_.spawn_depth &&
-          problem_.SubtreeSizeHint(state) >= options_.min_parallel_subtree) {
-        // Shallow: every child is its own stealable task. The prefix copy is
-        // tiny here (length < spawn_depth).
-        std::vector<uint64_t> child_prefix = *prefix;
-        child_prefix.push_back(subset);
-        group_->Run([this, child, child_prefix]() mutable {
-          Visit(child, &child_prefix, 0);
-        });
-      } else {
-        prefix->push_back(subset);
-        Visit(child, prefix, level + 1);
-        prefix->pop_back();
-        // The recursive frame borrowed deeper arenas; this frame's reference
-        // is still valid (deque never relocates existing elements), and the
-        // subset list itself was never touched by deeper levels.
+      prefix->push_back(subset);
+      Visit(child, prefix, level + 1);
+      prefix->pop_back();
+      // The recursive frame borrowed deeper arenas; this frame's reference
+      // is still valid (deque never relocates existing elements), and the
+      // subset list itself was never touched by deeper levels.
+    }
+  }
+
+  // One spawned task: a slice of `state`'s children in canonical order.
+  // `prefix` is this task's private copy of the path to `state`.
+  void VisitSiblings(const BnbState& state, const std::vector<uint64_t>& slice,
+                     std::vector<uint64_t>* prefix) {
+    for (const uint64_t subset : slice) {
+      if (aborted_.load(std::memory_order_relaxed)) return;
+      if (stopped_.load(std::memory_order_relaxed)) {
+        FoldFrontier(problem_.Estimate(state));
+        return;
       }
+      BnbState child = problem_.Child(state, subset);
+      if (problem_.Estimate(child) > CeilingCost()) {
+        bound_pruned_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      prefix->push_back(subset);
+      Visit(child, prefix, 0);
+      prefix->pop_back();
     }
   }
 
@@ -424,6 +415,8 @@ class Engine {
         return;
       }
       best_v_ = v;
+      // Capacity was reserved up front (kPathReserve), so steady-state
+      // improvements assign without reallocating.
       best_path_ = path;
       has_best_ = true;
     }
@@ -473,7 +466,7 @@ class Engine {
   double best_v_ BCAST_GUARDED_BY(best_mutex_) = 0.0;
   std::vector<uint64_t> best_path_ BCAST_GUARDED_BY(best_mutex_);
 
-  std::unique_ptr<TranspositionCache> cache_;
+  std::unique_ptr<ConcurrentStateStore> store_;
 
   std::atomic<bool> aborted_{false};
   Mutex abort_mutex_;
@@ -482,7 +475,6 @@ class Engine {
   std::atomic<uint64_t> expanded_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> bound_pruned_{0};
-  std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> incumbent_updates_{0};
 };
 
@@ -494,7 +486,15 @@ Result<ParallelSearchResult> RunParallelSearch(
     return InvalidArgumentError("num_threads must be >= 0 (0 = hardware)");
   }
   if (options.cache_shards < 0) {
-    return InvalidArgumentError("cache_shards must be >= 0 (0 = no cache)");
+    return InvalidArgumentError(
+        "cache_shards must be >= 0 (0 = no memoization; positive values are "
+        "a deprecated no-op)");
+  }
+  if (options.batch_factor < 1) {
+    return InvalidArgumentError("batch_factor must be >= 1");
+  }
+  if (options.store_max_cas_retries < 1) {
+    return InvalidArgumentError("store_max_cas_retries must be >= 1");
   }
   if (!(options.initial_bound >= 0.0)) {  // also rejects NaN
     return InvalidArgumentError("initial_bound must be >= 0 (+inf = unseeded)");

@@ -4,8 +4,10 @@
 // The engine searches a tree of states labelled by compound-set bitmasks (the
 // shape of the paper's topological tree, abstracted behind BnbProblem so the
 // executor layer stays independent of src/alloc/). Frontier nodes are
-// expanded as stealable tasks down to a spawn depth; deeper subtrees run as
-// inline depth-first searches on whichever worker owns them.
+// expanded as stealable tasks down to a spawn depth — bundled `batch_factor`
+// siblings at a time so task overhead amortizes — and deeper subtrees run as
+// inline depth-first searches on whichever worker owns them. A single-thread
+// run skips the pool entirely and searches inline on the calling thread.
 //
 // Three shared structures coordinate the workers:
 //
@@ -17,9 +19,12 @@
 //  * an exact *incumbent record* (cost + path) behind a mutex, touched only
 //    on the rare completion events, which also applies the canonical
 //    tie-break below;
-//  * a *sharded transposition cache* keyed by the allocated-node bitmask that
-//    memoizes explored states, so a state dominated by what any worker has
-//    already seen is never re-expanded.
+//  * a lock-free *concurrent state store* (exec/state_store.h): one
+//    open-addressed table of CAS-published, arena-pooled entries keyed by
+//    (mask, last_set, depth) that memoizes explored states, so a state
+//    dominated by what any worker has already seen is never re-expanded.
+//    Steady-state inserts perform zero heap allocations
+//    (tests/alloc_free_search_test.cc proves it with a counting allocator).
 //
 // Determinism argument (tested by the differential harness): the returned
 // path is exactly
@@ -32,21 +37,25 @@
 //  1. bound pruning uses *strictly greater than* an upper bound on the best
 //     completed cost (the packed word only ever rounds up), so subtrees that
 //     tie the optimum are never cut;
-//  2. the transposition cache skips a state only when a recorded state with
-//     the same (mask, last_set) reaches it no later (depth' <= depth) and
-//     either strictly cheaper (v' < v) or equally cheap via a lexicographically
-//     smaller prefix — in both cases every completion through the skipped
-//     state is beaten (or tie-broken) by one through the recorded state;
+//  2. the state store skips a state only when a recorded state with the same
+//     (mask, last_set, depth) is either strictly cheaper (v' < v) or equally
+//     cheap via a lexicographically no-greater prefix — in both cases every
+//     completion through the skipped state is beaten (or tie-broken) by a
+//     completion through the recorded state. When the store cannot record a
+//     state (table full, arena exhausted, CAS contention past its retry
+//     bound) it reports "not dominated" and the state is simply re-expanded:
+//     skipping fewer states never changes the (cost, lex) minimum;
 //  3. the incumbent record applies the same (cost, lex) order, so the final
 //     winner is independent of completion arrival order.
-// Hence any interleaving, any steal pattern and any thread count produce the
-// same best path — the one the single-threaded engine reports. Search
-// *statistics* (expansion counts, cache hits) do legitimately vary run to
-// run; only the result is invariant.
+// Hence any interleaving, any steal pattern, any thread count and any
+// batch_factor produce the same best path — the one the single-threaded
+// engine reports. Search *statistics* (expansion counts, store hits) do
+// legitimately vary run to run; only the result is invariant.
 
 #ifndef BCAST_EXEC_PARALLEL_SEARCH_H_
 #define BCAST_EXEC_PARALLEL_SEARCH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -96,9 +105,10 @@ class BnbProblem {
 
   /// Cheap upper-level size signal for the subtree rooted at `state`, used
   /// only to gate task spawning (ParallelSearchOptions::min_parallel_subtree)
-  /// — never for pruning, so any monotone proxy works. Conventionally the
-  /// number of elements still unplaced; the default (max) means "unknown,
-  /// assume big" and keeps spawning unrestricted.
+  /// and to auto-size the state store — never for pruning, so any monotone
+  /// proxy works. Conventionally the number of elements still unplaced; the
+  /// default (max) means "unknown, assume big" and keeps spawning
+  /// unrestricted.
   virtual uint64_t SubtreeSizeHint(const BnbState& state) const {
     (void)state;
     return std::numeric_limits<uint64_t>::max();
@@ -106,14 +116,25 @@ class BnbProblem {
 };
 
 struct ParallelSearchOptions {
-  /// Worker threads; 0 = ThreadPool::HardwareConcurrency().
+  /// Worker threads; 0 = ThreadPool::HardwareConcurrency(). A resolved count
+  /// of 1 (requested, or forced by the sequential cutoff) runs inline on the
+  /// calling thread with no pool at all.
   int num_threads = 0;
   /// RESOURCE_EXHAUSTED once the engine has expanded this many states.
   uint64_t max_expansions = 200'000'000;
-  /// States shallower than this spawn one pool task per child; deeper
+  /// States shallower than this spawn pool tasks for their children; deeper
   /// subtrees run inline. Raising it exposes more parallelism and more
   /// scheduling overhead.
   int spawn_depth = 4;
+  /// Sibling subsets bundled into one stealable task at the spawn frontier
+  /// (companion knob to min_parallel_subtree: the cutoff decides *whether*
+  /// to spawn, this decides the task *granularity*). 1 = one task per child,
+  /// the pre-batching behavior. Each task re-derives its children and
+  /// re-checks the incumbent bound at execution time, so late batches prune
+  /// against a fresher bound than spawn-time checking could. Result is
+  /// byte-identical for every value (see file comment). Default measured on
+  /// the bench_parallel_search deep/skewed grid (BENCH_parallel_search.json).
+  int batch_factor = 4;
   /// Sequential cutoff: a state whose BnbProblem::SubtreeSizeHint falls
   /// below this never spawns tasks — its subtree runs inline even above
   /// spawn_depth — and a whole *search* whose root hint falls below it runs
@@ -124,9 +145,24 @@ struct ParallelSearchOptions {
   /// microseconds of work and a stealable task costs more than it buys.
   /// 0 disables the cutoff.
   uint64_t min_parallel_subtree = 12;
-  /// Transposition-cache shards (rounded up to a power of two);
-  /// 0 disables the cache.
+  /// DEPRECATED (no-op since the lock-free store landed): the mutex-sharded
+  /// transposition cache this configured was replaced by the shardless
+  /// ConcurrentStateStore (exec/state_store.h). Kept so existing callers and
+  /// scripts don't break: 0 still disables memoization entirely, negative is
+  /// still INVALID_ARGUMENT, and any positive value is accepted and ignored
+  /// — store tuning moved to store_capacity / store_arena_bytes /
+  /// store_max_cas_retries.
   int cache_shards = 32;
+  /// State-store table cells, rounded up to a power of two; 0 = auto-size
+  /// from the root SubtreeSizeHint. Ignored when cache_shards == 0.
+  size_t store_capacity = 0;
+  /// Arena budget for store entry records; 0 = auto (scaled from the cell
+  /// count, capped — see exec/state_store.h). Exhaustion degrades to
+  /// not-memoizing, never to failure.
+  size_t store_arena_bytes = 0;
+  /// Failed CAS publications tolerated per store update before the candidate
+  /// is dropped unrecorded (sound — it merely allows a re-expansion).
+  int store_max_cas_retries = 8;
   /// Seeds the shared incumbent bound with the cost of a known feasible
   /// solution before the first expansion (+inf = start unseeded). Pruning
   /// compares children with *strictly greater than* a rounded-up copy of
@@ -155,13 +191,18 @@ struct ParallelSearchOptions {
   const CancelToken* cancel = nullptr;
 };
 
+/// The cache_* fields report the concurrent state store (the names predate
+/// it; kept stable for telemetry and bench-JSON compatibility).
 struct ParallelSearchStats {
   uint64_t nodes_expanded = 0;    // states taken off a deque or visited inline
   uint64_t paths_completed = 0;   // goal states reached
   uint64_t bound_pruned = 0;      // children cut by the incumbent bound
   uint64_t cache_hits = 0;        // states skipped as memoized-dominated
-  uint64_t cache_misses = 0;      // states that survived the cache check
-  uint64_t cache_evictions = 0;   // dominated entries dropped on insert
+  uint64_t cache_misses = 0;      // states recorded (survived the check)
+  uint64_t cache_evictions = 0;   // dominated entries replaced on insert
+  uint64_t cache_dropped = 0;     // states droppable but unrecordable
+                                  // (table full / arena out / CAS bound hit)
+  uint64_t cache_cas_retries = 0; // failed CAS publications inside the store
   uint64_t cache_entries = 0;     // live entries at the end of the run
   uint64_t incumbent_updates = 0; // times the shared incumbent improved
   int threads_used = 0;
@@ -192,7 +233,8 @@ struct ParallelSearchResult {
 /// max_expansions or when a soft stop fires before any goal was completed,
 /// INTERNAL if no goal state exists (a pruning dead end, or an initial_bound
 /// below the true optimum), INVALID_ARGUMENT for negative num_threads /
-/// cache_shards / initial_bound.
+/// cache_shards / initial_bound or non-positive batch_factor /
+/// store_max_cas_retries.
 Result<ParallelSearchResult> RunParallelSearch(
     const BnbProblem& problem, const ParallelSearchOptions& options);
 

@@ -1,0 +1,197 @@
+#include "exec/state_store.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bcast {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// SplitMix64 finalizer over the full (mask, last_set, depth) key. Every bit
+// of the key reaches every bit of the hash, so linear probing does not
+// cluster on the low-entropy depth field.
+// bcast: hot
+uint64_t HashKey(const BnbState& state) {
+  uint64_t x = state.mask ^ (state.last_set * 0x9E3779B97F4A7C15ull) ^
+               (static_cast<uint64_t>(static_cast<uint32_t>(state.depth))
+                << 32);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Arena chunk granularity: big enough that a thread claims a chunk every few
+// thousand entries, small enough that per-thread tail waste is noise.
+constexpr size_t kChunkBytes = 256 * 1024;
+
+// Average-entry-size estimate for the auto arena budget: a 32-byte header
+// plus a dozen prefix words covers the committed bench families with room
+// for CAS-replacement garbage.
+constexpr size_t kAutoBytesPerCell = 128;
+
+}  // namespace
+
+struct ConcurrentStateStore::Entry {
+  uint64_t mask;
+  uint64_t last_set;
+  double v;
+  int32_t depth;
+  uint32_t prefix_len;
+
+  // The prefix words live immediately after the header, in the same arena
+  // block (NewEntry sizes the allocation accordingly).
+  const uint64_t* prefix() const {
+    return reinterpret_cast<const uint64_t*>(this + 1);
+  }
+  uint64_t* mutable_prefix() { return reinterpret_cast<uint64_t*>(this + 1); }
+
+  static_assert(sizeof(uint64_t) * 2 + sizeof(double) + sizeof(int32_t) +
+                        sizeof(uint32_t) ==
+                    32,
+                "header fields pack to 32 bytes; prefix words stay 8-aligned");
+};
+
+ConcurrentStateStore::ConcurrentStateStore(const BnbProblem& problem,
+                                           const StateStoreOptions& options)
+    : problem_(problem),
+      capacity_(RoundUpPow2(options.capacity > 0 ? options.capacity : 1)),
+      max_probe_(options.max_probe > 0 ? options.max_probe : 1),
+      max_cas_retries_(options.max_cas_retries > 0 ? options.max_cas_retries
+                                                   : 1),
+      arena_(
+          [&] {
+            const size_t budget = options.arena_bytes > 0
+                                      ? options.arena_bytes
+                                      : capacity_ * kAutoBytesPerCell;
+            return budget < kChunkBytes ? budget : kChunkBytes;
+          }(),
+          [&] {
+            const size_t budget = options.arena_bytes > 0
+                                      ? options.arena_bytes
+                                      : capacity_ * kAutoBytesPerCell;
+            return (budget + kChunkBytes - 1) / kChunkBytes;
+          }()),
+      cells_(new std::atomic<Entry*>[capacity_]()) {}
+
+ConcurrentStateStore::~ConcurrentStateStore() = default;
+
+ConcurrentStateStore::Entry* ConcurrentStateStore::NewEntry(
+    const BnbState& state, const std::vector<uint64_t>& prefix) {
+  void* block = arena_.Alloc(sizeof(Entry) + prefix.size() * sizeof(uint64_t));
+  if (block == nullptr) return nullptr;
+  // Placement construction into arena memory — no heap traffic.
+  // bcast-lint: allow(hot-path-alloc)
+  Entry* entry = new (block) Entry;
+  entry->mask = state.mask;
+  entry->last_set = state.last_set;
+  entry->v = state.v;
+  entry->depth = state.depth;
+  entry->prefix_len = static_cast<uint32_t>(prefix.size());
+  if (!prefix.empty()) {
+    std::memcpy(entry->mutable_prefix(), prefix.data(),
+                prefix.size() * sizeof(uint64_t));
+  }
+  return entry;
+}
+
+// bcast: hot
+bool ConcurrentStateStore::EntryDominates(
+    const Entry& entry, const BnbState& state,
+    const std::vector<uint64_t>& prefix) const {
+  if (entry.v < state.v) return true;
+  if (entry.v > state.v) return false;
+  const uint64_t* recorded = entry.prefix();
+  for (uint32_t i = 0; i < entry.prefix_len; ++i) {
+    if (recorded[i] != prefix[i]) {
+      return problem_.SubsetLess(recorded[i], prefix[i]);
+    }
+  }
+  // Identical path — the state is literally the recorded one; skipping the
+  // revisit is trivially sound.
+  return true;
+}
+
+// bcast: hot
+bool ConcurrentStateStore::CheckDominatedOrInsert(
+    const BnbState& state, const std::vector<uint64_t>& prefix) {
+  const size_t index_mask = capacity_ - 1;
+  size_t index = static_cast<size_t>(HashKey(state)) & index_mask;
+  Entry* mine = nullptr;  // built lazily, reusable across cells (same bytes)
+  for (size_t probe = 0; probe < max_probe_; ++probe) {
+    std::atomic<Entry*>& cell = cells_[index];
+    Entry* current = cell.load(std::memory_order_acquire);
+    if (current == nullptr) {
+      if (mine == nullptr) {
+        mine = NewEntry(state, prefix);
+        if (mine == nullptr) {  // arena exhausted — stop memoizing
+          evictions_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+      }
+      if (cell.compare_exchange_strong(current, mine,
+                                       std::memory_order_release,
+                                       std::memory_order_acquire)) {
+        inserts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      // Lost the claim; `current` is the winner — fall through to the key
+      // check (a cell's key never changes after first publication).
+    }
+    if (current->mask == state.mask && current->last_set == state.last_set &&
+        current->depth == state.depth &&
+        current->prefix_len == prefix.size()) {
+      int retries = 0;
+      while (true) {
+        if (EntryDominates(*current, state, prefix)) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        if (mine == nullptr) {
+          mine = NewEntry(state, prefix);
+          if (mine == nullptr) {
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+          }
+        }
+        if (cell.compare_exchange_strong(current, mine,
+                                         std::memory_order_release,
+                                         std::memory_order_acquire)) {
+          inserts_.fetch_add(1, std::memory_order_relaxed);
+          dominated_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        cas_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (++retries >= max_cas_retries_) {  // bounded retry — give up
+          evictions_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+      }
+    }
+    index = (index + 1) & index_mask;
+  }
+  evictions_.fetch_add(1, std::memory_order_relaxed);  // probe limit: full
+  return false;
+}
+
+StateStoreCounters ConcurrentStateStore::Counters() const {
+  StateStoreCounters counters;
+  counters.hits = hits_.load(std::memory_order_relaxed);
+  counters.inserts = inserts_.load(std::memory_order_relaxed);
+  counters.dominated = dominated_.load(std::memory_order_relaxed);
+  counters.evictions = evictions_.load(std::memory_order_relaxed);
+  counters.cas_retries = cas_retries_.load(std::memory_order_relaxed);
+  counters.entries = counters.inserts - counters.dominated;
+  return counters;
+}
+
+}  // namespace bcast

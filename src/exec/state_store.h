@@ -1,0 +1,130 @@
+// ConcurrentStateStore: a lock-free transposition store for the parallel
+// branch-and-bound (exec/parallel_search.h), replacing the mutex-sharded
+// per-mask cache of PRs 3–8.
+//
+// Shape (the DIVINE model checker's store discipline): one open-addressed
+// hash table of atomic entry pointers, keyed by the full search-state
+// identity (mask, last_set, depth), with entries bump-allocated out of a
+// preallocated FixedChunkArena (util/arena.h) and published by CAS. An entry
+// is immutable after publication and is never reclaimed before the store
+// dies, so readers need no hazard pointers: any pointer loaded from a cell
+// stays valid for the store's whole lifetime. Steady-state operation
+// performs ZERO heap allocations (proven by tests/alloc_free_search_test.cc)
+// — every byte was reserved in the constructor.
+//
+// Dominance model. For one key, the candidate order is the total order
+//   (v, canonical-lex rank of the root prefix)
+// — the same order the engine's determinism argument minimizes over. A
+// candidate is *dominated* (skip it, `true`) when the published entry is at
+// or below it in that order; otherwise the candidate CAS-replaces the entry
+// (the replaced entry is counted in `dominated`). The CAS loop is bounded:
+// after `max_cas_retries` failed publications the store gives up and reports
+// the state as NOT dominated (counted in `evictions`), which merely
+// re-expands a subtree — never wrong, by the engine's "skipping fewer states
+// is always sound" property. The same graceful degradation applies when the
+// probe sequence finds no free cell or the arena is exhausted.
+//
+// Versus the retired sharded cache: the old store dominated across depths
+// (an entry reaching the same (mask, last_set) in *fewer* slots could also
+// kill the candidate). Folding depth into the key drops that rare
+// cross-depth hit in exchange for a single-word CAS per update and no locks
+// anywhere; the engine result is byte-identical either way because skipping
+// strictly fewer states never changes the (cost, lex) minimum.
+//
+// Memory model: entries are fully constructed before the releasing CAS that
+// publishes them; every cell load is an acquire, so a reader that observes
+// the pointer observes the entry's fields. A cell's key never changes after
+// first publication (replacements carry the same key), which rules out ABA
+// on the key-match fast path.
+
+#ifndef BCAST_EXEC_STATE_STORE_H_
+#define BCAST_EXEC_STATE_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/parallel_search.h"
+#include "util/arena.h"
+
+namespace bcast {
+
+struct StateStoreOptions {
+  /// Table cells (rounded up to a power of two). Also the live-entry bound.
+  size_t capacity = 1 << 16;
+  /// Arena budget for entry records; 0 = auto (capacity scaled by an average
+  /// entry-size estimate). Exhaustion degrades to not-memoizing, never fails.
+  size_t arena_bytes = 0;
+  /// Linear-probe limit before an insert is dropped as "table full".
+  size_t max_probe = 64;
+  /// Failed CAS publications tolerated per update before giving up.
+  int max_cas_retries = 8;
+};
+
+/// Exact event counts (relaxed atomics; read after the search joined for
+/// quiescent values). `hits + inserts + evictions` equals the number of
+/// CheckDominatedOrInsert calls; `entries` = `inserts - dominated`.
+struct StateStoreCounters {
+  uint64_t hits = 0;        // candidate dominated by a published entry
+  uint64_t inserts = 0;     // candidate published (fresh cell or replacement)
+  uint64_t dominated = 0;   // published entries replaced by a dominating one
+  uint64_t evictions = 0;   // candidates dropped unrecorded (full/contended)
+  uint64_t cas_retries = 0; // failed publication CAS attempts
+  uint64_t entries = 0;     // live published entries (inserts - dominated)
+};
+
+class ConcurrentStateStore {
+ public:
+  /// `problem` provides SubsetLess for the canonical-lex tie-break; it must
+  /// outlive the store.
+  ConcurrentStateStore(const BnbProblem& problem,
+                       const StateStoreOptions& options);
+  ~ConcurrentStateStore();
+
+  ConcurrentStateStore(const ConcurrentStateStore&) = delete;
+  ConcurrentStateStore& operator=(const ConcurrentStateStore&) = delete;
+
+  /// True when `state` (reached via the root prefix `prefix`, which must
+  /// satisfy prefix.size() + root_depth == state.depth) is dominated by a
+  /// published entry — the caller skips it. Otherwise records the state
+  /// (best effort — see file comment) and returns false. Lock-free;
+  /// steady-state allocation-free.
+  bool CheckDominatedOrInsert(const BnbState& state,
+                              const std::vector<uint64_t>& prefix);
+
+  StateStoreCounters Counters() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t arena_bytes_reserved() const { return arena_.bytes_reserved(); }
+
+ private:
+  struct Entry;
+
+  // Builds an immutable arena-backed entry, or nullptr when the arena is
+  // exhausted (or the prefix alone overflows a chunk).
+  Entry* NewEntry(const BnbState& state, const std::vector<uint64_t>& prefix);
+
+  // True when `entry` precedes or equals (state, prefix) in the per-key
+  // total order (v, canonical lex).
+  bool EntryDominates(const Entry& entry, const BnbState& state,
+                      const std::vector<uint64_t>& prefix) const;
+
+  const BnbProblem& problem_;
+  const size_t capacity_;   // power of two
+  const size_t max_probe_;
+  const int max_cas_retries_;
+  FixedChunkArena arena_;
+  std::unique_ptr<std::atomic<Entry*>[]> cells_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> dominated_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> cas_retries_{0};
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_EXEC_STATE_STORE_H_

@@ -1,0 +1,83 @@
+#include "util/arena.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace bcast {
+
+namespace {
+
+constexpr size_t kAlign = 8;
+
+// Per-(thread, arena) bump state. The slot array is fixed-size POD so looking
+// up or claiming a slot never allocates; `uid` 0 marks a free slot (arena ids
+// start at 1 and are never reused).
+struct ThreadChunk {
+  uint64_t uid = 0;
+  char* cursor = nullptr;
+  char* end = nullptr;
+};
+
+constexpr size_t kThreadSlots = 8;
+
+ThreadChunk* LocalSlot(uint64_t uid) {
+  thread_local std::array<ThreadChunk, kThreadSlots> slots{};
+  for (ThreadChunk& slot : slots) {
+    if (slot.uid == uid) return &slot;
+  }
+  // Not cached: claim the slot this id hashes to (evicting whatever arena
+  // held it — that arena just re-claims a chunk on its next Alloc).
+  ThreadChunk* slot = &slots[static_cast<size_t>(uid) % kThreadSlots];
+  slot->uid = uid;
+  slot->cursor = nullptr;
+  slot->end = nullptr;
+  return slot;
+}
+
+uint64_t NextArenaUid() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+FixedChunkArena::FixedChunkArena(size_t chunk_bytes, size_t num_chunks)
+    : chunk_bytes_((chunk_bytes + kAlign - 1) / kAlign * kAlign),
+      num_chunks_(num_chunks),
+      uid_(NextArenaUid()),
+      slab_(new char[chunk_bytes_ * num_chunks_]) {
+  BCAST_CHECK_GT(chunk_bytes, 0u);
+  BCAST_CHECK_GT(num_chunks, 0u);
+}
+
+FixedChunkArena::~FixedChunkArena() = default;
+
+char* FixedChunkArena::GrabChunk() {
+  const size_t index = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= num_chunks_) return nullptr;
+  return slab_.get() + index * chunk_bytes_;
+}
+
+// bcast: hot
+void* FixedChunkArena::Alloc(size_t bytes) {
+  bytes = (bytes + kAlign - 1) / kAlign * kAlign;
+  if (bytes > chunk_bytes_) return nullptr;
+  ThreadChunk* slot = LocalSlot(uid_);
+  if (static_cast<size_t>(slot->end - slot->cursor) < bytes) {
+    char* chunk = GrabChunk();
+    if (chunk == nullptr) return nullptr;
+    slot->cursor = chunk;
+    slot->end = chunk + chunk_bytes_;
+  }
+  char* result = slot->cursor;
+  slot->cursor += bytes;
+  return result;
+}
+
+size_t FixedChunkArena::chunks_used() const {
+  const size_t handed_out = next_chunk_.load(std::memory_order_relaxed);
+  return handed_out < num_chunks_ ? handed_out : num_chunks_;
+}
+
+}  // namespace bcast

@@ -160,6 +160,44 @@ TEST(ParallelSearchTest, ResultInvariantAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelSearchTest, ResultInvariantAcrossBatchFactors) {
+  // batch_factor only changes task granularity at the spawn frontier; the
+  // determinism argument (parallel_search.h) promises the same answer for
+  // every value, including 1 (the pre-batching one-task-per-child shape).
+  ToyProblem reference_problem;
+  auto reference = RunParallelSearch(reference_problem, SequentialOptions());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int batch : {1, 2, 3, 8}) {
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("batch " + std::to_string(batch) + " threads " +
+                   std::to_string(threads));
+      ToyProblem problem;
+      ParallelSearchOptions options;
+      options.num_threads = threads;
+      options.batch_factor = batch;
+      auto result = RunParallelSearch(problem, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->best_path, reference->best_path);
+      EXPECT_EQ(result->best_v, reference->best_v);
+    }
+  }
+}
+
+TEST(ParallelSearchTest, DeprecatedCacheShardsStillTogglesMemoization) {
+  // Any positive value is a no-op (the store is unsharded) — the historical
+  // 0-disables semantics is the only part scripts can still observe.
+  for (int shards : {1, 32, 4096}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    ToyProblem problem;
+    ParallelSearchOptions options = SequentialOptions();
+    options.cache_shards = shards;
+    auto result = RunParallelSearch(problem, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(problem.ExpandCount(0x7, 0x4), 1);  // memoized either way
+    EXPECT_GT(result->stats.cache_entries, 0u);
+  }
+}
+
 TEST(ParallelSearchTest, RejectsNegativeOptions) {
   ToyProblem problem;
   ParallelSearchOptions options;
@@ -170,6 +208,18 @@ TEST(ParallelSearchTest, RejectsNegativeOptions) {
 
   options = ParallelSearchOptions{};
   options.cache_shards = -1;
+  result = RunParallelSearch(problem, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  options = ParallelSearchOptions{};
+  options.batch_factor = 0;
+  result = RunParallelSearch(problem, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  options = ParallelSearchOptions{};
+  options.store_max_cas_retries = 0;
   result = RunParallelSearch(problem, options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);

@@ -70,7 +70,9 @@ TEST(ReplicationTest, BaseCostsMatchTheUnreplicatedModel) {
 TEST(ReplicationTest, MoreCopiesCutTheProbeWait) {
   Rng rng(88);
   IndexTree tree = MakeRandomTree(&rng, 30, 3);
-  auto base = FindOptimalAllocation(tree, 2, {.max_expansions = 1});
+  OptimalOptions cheap;
+  cheap.max_expansions = 1;
+  auto base = FindOptimalAllocation(tree, 2, cheap);
   // Fall back to a heuristic if the exact search is not instant.
   SlotSequence slots;
   if (base.ok()) {

@@ -1,0 +1,358 @@
+// Unit and stress tests for the lock-free concurrent state store and its
+// backing fixed-chunk arena (exec/state_store.h, util/arena.h).
+//
+// The stress tests run under the TSan CI job (ci.yml filters on the
+// StateStore/Arena test names), which is where the memory-model claims in
+// the state-store header are actually checked.
+
+#include "exec/state_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace bcast {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FixedChunkArena
+// ---------------------------------------------------------------------------
+
+TEST(ArenaTest, BumpAllocatesAlignedBlocksUntilExhausted) {
+  FixedChunkArena arena(/*chunk_bytes=*/64, /*num_chunks=*/2);
+  EXPECT_EQ(arena.bytes_reserved(), 128u);
+  std::vector<void*> blocks;
+  while (void* block = arena.Alloc(24)) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(block) % 8, 0u);
+    blocks.push_back(block);
+  }
+  // 24 rounds up to 24; two blocks fit per 64-byte chunk (the 16-byte tail
+  // is wasted), two chunks total.
+  EXPECT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(arena.chunks_used(), 2u);
+  // The 16-byte tail of the final chunk still serves small requests...
+  EXPECT_NE(arena.Alloc(8), nullptr);
+  EXPECT_NE(arena.Alloc(8), nullptr);
+  // ...then the pool is exhausted for good.
+  EXPECT_EQ(arena.Alloc(8), nullptr);
+}
+
+TEST(ArenaTest, OversizedRequestIsRejectedNotSplit) {
+  FixedChunkArena arena(/*chunk_bytes=*/64, /*num_chunks=*/4);
+  EXPECT_EQ(arena.Alloc(65), nullptr);
+  // The rejection consumed nothing.
+  EXPECT_NE(arena.Alloc(64), nullptr);
+}
+
+TEST(ArenaTest, DistinctArenasDoNotShareThreadState) {
+  FixedChunkArena a(/*chunk_bytes=*/64, /*num_chunks=*/1);
+  FixedChunkArena b(/*chunk_bytes=*/64, /*num_chunks=*/1);
+  void* from_a = a.Alloc(64);
+  void* from_b = b.Alloc(64);
+  ASSERT_NE(from_a, nullptr);
+  ASSERT_NE(from_b, nullptr);
+  EXPECT_NE(from_a, from_b);
+  EXPECT_EQ(a.Alloc(8), nullptr);
+  EXPECT_EQ(b.Alloc(8), nullptr);
+}
+
+TEST(ArenaStressTest, ConcurrentAllocationsNeverOverlap) {
+  constexpr int kThreads = 8;
+  constexpr size_t kBlock = 16;
+  FixedChunkArena arena(/*chunk_bytes=*/256, /*num_chunks=*/64);
+  std::vector<std::vector<void*>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&arena, &per_thread, t] {
+      while (void* block = arena.Alloc(kBlock)) {
+        per_thread[static_cast<size_t>(t)].push_back(block);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::vector<uintptr_t> all;
+  for (const auto& blocks : per_thread) {
+    for (void* block : blocks) {
+      all.push_back(reinterpret_cast<uintptr_t>(block));
+    }
+  }
+  std::sort(all.begin(), all.end());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i] - all[i - 1], kBlock) << "overlapping blocks at " << i;
+  }
+  // Every fully-consumed chunk yields 16 blocks; each thread can strand at
+  // most one partial chunk, so the floor is (chunks - threads) * 16.
+  EXPECT_GE(all.size(), (64 - kThreads) * (256 / kBlock));
+  EXPECT_LE(all.size() * kBlock, arena.bytes_reserved());
+  EXPECT_EQ(arena.chunks_used(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentStateStore
+// ---------------------------------------------------------------------------
+
+// Minimal problem: the store only calls SubsetLess. Plain integer order makes
+// the (v, lex) candidate order easy to replicate in the test.
+class StoreProblem : public BnbProblem {
+ public:
+  BnbState Root() const override { return BnbState{1, 1, 1, 0.0}; }
+  bool IsGoal(const BnbState&) const override { return false; }
+  void Expand(const BnbState&, std::vector<uint64_t>*) const override {}
+  BnbState Child(const BnbState& state, uint64_t) const override {
+    return state;
+  }
+  double Estimate(const BnbState& state) const override { return state.v; }
+  bool SubsetLess(uint64_t a, uint64_t b) const override { return a < b; }
+};
+
+BnbState MakeState(uint64_t mask, double v, int depth = 3) {
+  BnbState state;
+  state.mask = mask;
+  state.last_set = 1;
+  state.depth = depth;
+  state.v = v;
+  return state;
+}
+
+void ExpectInvariants(const ConcurrentStateStore& store, uint64_t calls) {
+  const StateStoreCounters c = store.Counters();
+  EXPECT_EQ(c.hits + c.inserts + c.evictions, calls);
+  EXPECT_EQ(c.entries, c.inserts - c.dominated);
+}
+
+TEST(StateStoreTest, DominanceFollowsValueThenCanonicalLex) {
+  StoreProblem problem;
+  StateStoreOptions options;
+  options.capacity = 64;
+  ConcurrentStateStore store(problem, options);
+
+  const std::vector<uint64_t> canonical{2, 5};
+  const std::vector<uint64_t> later{3, 4};
+
+  // First sighting is recorded.
+  EXPECT_FALSE(store.CheckDominatedOrInsert(MakeState(7, 5.0), canonical));
+  // Strictly worse v: dominated.
+  EXPECT_TRUE(store.CheckDominatedOrInsert(MakeState(7, 6.0), later));
+  // Equal v, lexicographically later prefix: dominated (tie-break).
+  EXPECT_TRUE(store.CheckDominatedOrInsert(MakeState(7, 5.0), later));
+  // The identical candidate is trivially dominated.
+  EXPECT_TRUE(store.CheckDominatedOrInsert(MakeState(7, 5.0), canonical));
+  // Equal v, earlier prefix: replaces the entry...
+  EXPECT_FALSE(store.CheckDominatedOrInsert(MakeState(7, 5.0), {2, 4}));
+  // ...as does a strictly better v.
+  EXPECT_FALSE(store.CheckDominatedOrInsert(MakeState(7, 4.0), later));
+  // And the replaced entries now lose against the new one.
+  EXPECT_TRUE(store.CheckDominatedOrInsert(MakeState(7, 5.0), canonical));
+
+  const StateStoreCounters c = store.Counters();
+  EXPECT_EQ(c.hits, 4u);
+  EXPECT_EQ(c.inserts, 3u);
+  EXPECT_EQ(c.dominated, 2u);  // two CAS replacements of the same cell
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(c.cas_retries, 0u);  // single-threaded: every CAS wins first try
+  ExpectInvariants(store, 7);
+}
+
+TEST(StateStoreTest, DepthIsPartOfTheKey) {
+  StoreProblem problem;
+  StateStoreOptions options;
+  options.capacity = 64;
+  ConcurrentStateStore store(problem, options);
+  // Same (mask, last_set) at different depths are distinct states: neither
+  // dominates the other, both get recorded.
+  EXPECT_FALSE(
+      store.CheckDominatedOrInsert(MakeState(7, 5.0, /*depth=*/3), {2, 5}));
+  EXPECT_FALSE(
+      store.CheckDominatedOrInsert(MakeState(7, 1.0, /*depth=*/4), {2, 5, 6}));
+  EXPECT_EQ(store.Counters().entries, 2u);
+  ExpectInvariants(store, 2);
+}
+
+TEST(StateStoreTest, FullTableEvictsInsteadOfBlocking) {
+  StoreProblem problem;
+  StateStoreOptions options;
+  options.capacity = 4;
+  options.max_probe = 4;
+  ConcurrentStateStore store(problem, options);
+  EXPECT_EQ(store.capacity(), 4u);
+
+  constexpr uint64_t kCalls = 64;
+  for (uint64_t i = 0; i < kCalls; ++i) {
+    store.CheckDominatedOrInsert(MakeState(/*mask=*/100 + i, 1.0), {1, 2});
+  }
+  const StateStoreCounters c = store.Counters();
+  // Distinct keys: no hits, at most one insert per cell, the rest dropped.
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.inserts, 4u);
+  EXPECT_EQ(c.entries, 4u);
+  EXPECT_EQ(c.evictions, kCalls - 4u);
+  ExpectInvariants(store, kCalls);
+
+  // A key that made it into the table still memoizes normally.
+  uint64_t recorded_mask = 0;
+  for (uint64_t i = 0; i < kCalls; ++i) {
+    // Find a recorded key by behavior: re-submitting a recorded key is a hit.
+    if (store.CheckDominatedOrInsert(MakeState(100 + i, 1.0), {1, 2})) {
+      recorded_mask = 100 + i;
+      break;
+    }
+  }
+  EXPECT_GE(recorded_mask, 100u);
+}
+
+TEST(StateStoreTest, ArenaExhaustionDegradesToNotMemoizing) {
+  StoreProblem problem;
+  StateStoreOptions options;
+  options.capacity = 64;
+  // Room for exactly one 32-byte header + two prefix words (48 bytes).
+  options.arena_bytes = 64;
+  ConcurrentStateStore store(problem, options);
+  EXPECT_EQ(store.arena_bytes_reserved(), 64u);
+
+  EXPECT_FALSE(store.CheckDominatedOrInsert(MakeState(7, 5.0), {2, 5}));
+  // Distinct keys: the arena is out, so these are dropped, not recorded...
+  EXPECT_FALSE(store.CheckDominatedOrInsert(MakeState(8, 5.0), {2, 6}));
+  EXPECT_FALSE(store.CheckDominatedOrInsert(MakeState(9, 5.0), {2, 7}));
+  // ...and re-submitting a dropped key is NOT a hit (it was never stored).
+  EXPECT_FALSE(store.CheckDominatedOrInsert(MakeState(8, 5.0), {2, 6}));
+  // The recorded key still memoizes (domination needs no new entry).
+  EXPECT_TRUE(store.CheckDominatedOrInsert(MakeState(7, 6.0), {3, 5}));
+
+  const StateStoreCounters c = store.Counters();
+  EXPECT_EQ(c.inserts, 1u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.evictions, 3u);
+  ExpectInvariants(store, 5);
+}
+
+// 8 threads hammer a small key set with candidates of varying (v, prefix).
+// With generous capacity/arena/retry budgets nothing is ever dropped, so
+// after the join the store must hold, for every key, exactly the global
+// (v, lex)-minimum across every candidate any thread submitted — verified
+// behaviorally: the winner is reported dominated, anything strictly better
+// is not.
+TEST(StateStoreStressTest, EightThreadRaceConvergesToTheGlobalMinimum) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeys = 32;
+  constexpr int kRoundsPerThread = 2000;
+
+  StoreProblem problem;
+  StateStoreOptions options;
+  options.capacity = 1024;
+  options.arena_bytes = 16u << 20;
+  options.max_cas_retries = 1 << 20;  // effectively unbounded for this test
+  ConcurrentStateStore store(problem, options);
+
+  struct Candidate {
+    double v;
+    std::vector<uint64_t> prefix;
+  };
+  auto candidate_less = [](const Candidate& a, const Candidate& b) {
+    if (a.v != b.v) return a.v < b.v;
+    return a.prefix < b.prefix;  // SubsetLess is plain < in StoreProblem
+  };
+
+  std::vector<std::vector<std::vector<Candidate>>> submitted(
+      kThreads, std::vector<std::vector<Candidate>>(kKeys));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t rng = 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(t + 1);
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        const uint64_t key = rng % kKeys;
+        Candidate candidate;
+        candidate.v = static_cast<double>((rng >> 8) % 64);
+        candidate.prefix = {(rng >> 16) % 1024, (rng >> 32) % 1024};
+        store.CheckDominatedOrInsert(
+            MakeState(1000 + key, candidate.v), candidate.prefix);
+        submitted[static_cast<size_t>(t)][key].push_back(std::move(candidate));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const StateStoreCounters after_race = store.Counters();
+  const uint64_t race_calls =
+      static_cast<uint64_t>(kThreads) * kRoundsPerThread;
+  EXPECT_EQ(after_race.hits + after_race.inserts + after_race.evictions,
+            race_calls);
+  EXPECT_EQ(after_race.entries, after_race.inserts - after_race.dominated);
+  // Nothing was droppable: capacity and arena are ample, retries unbounded.
+  EXPECT_EQ(after_race.evictions, 0u);
+  EXPECT_EQ(after_race.entries, kKeys);
+  // CAS-retry sanity: retries only happen on publication races, so they are
+  // bounded by the number of publications attempted.
+  EXPECT_LE(after_race.cas_retries,
+            (after_race.inserts + after_race.evictions) * (1u << 20));
+
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    Candidate best;
+    bool has_best = false;
+    for (int t = 0; t < kThreads; ++t) {
+      for (const Candidate& candidate : submitted[static_cast<size_t>(t)][key]) {
+        if (!has_best || candidate_less(candidate, best)) {
+          best = candidate;
+          has_best = true;
+        }
+      }
+    }
+    ASSERT_TRUE(has_best);
+    // The winning candidate (or anything worse) is dominated by the entry.
+    EXPECT_TRUE(store.CheckDominatedOrInsert(MakeState(1000 + key, best.v),
+                                             best.prefix))
+        << "key " << key;
+    // A strictly better candidate is not.
+    EXPECT_FALSE(store.CheckDominatedOrInsert(
+        MakeState(1000 + key, best.v - 0.5), best.prefix))
+        << "key " << key;
+  }
+}
+
+// Concurrent inserts over all-distinct keys into a table that cannot hold
+// them: eviction accounting must stay exact under the race.
+TEST(StateStoreStressTest, ConcurrentOverflowKeepsCountersConsistent) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 4096;
+
+  StoreProblem problem;
+  StateStoreOptions options;
+  options.capacity = 256;
+  options.max_probe = 8;
+  ConcurrentStateStore store(problem, options);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key =
+            (static_cast<uint64_t>(t) << 32) | (i + 1);  // globally unique
+        store.CheckDominatedOrInsert(MakeState(key, 1.0), {1, 2});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const StateStoreCounters c = store.Counters();
+  EXPECT_EQ(c.hits, 0u);  // keys never repeat
+  EXPECT_EQ(c.dominated, 0u);
+  EXPECT_EQ(c.hits + c.inserts + c.evictions, kThreads * kPerThread);
+  EXPECT_EQ(c.entries, c.inserts);
+  EXPECT_LE(c.entries, store.capacity());
+  EXPECT_GT(c.evictions, 0u);  // the table is 128x oversubscribed
+}
+
+}  // namespace
+}  // namespace bcast
